@@ -1,0 +1,72 @@
+// A4 — ablation of footnote 2: when Step 3 returns an ALMOST-maximal
+// matching (a hard-truncated Israeli–Itai), the analysis stays valid only
+// if Definition-3-unsatisfied men are removed from play. This bench runs
+// ASM with a deliberately starved MM budget and toggles the drop rule,
+// reporting guarantee compliance, dropped men, and matching size across
+// budgets — the cost/benefit of the paper's repair mechanism.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "stable/blocking.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dasm;
+  bench::print_header(
+      "A4",
+      "Footnote 2: with almost-maximal (truncated) matchings, unsatisfied "
+      "men are removed from play so Lemmas 3/4 still apply",
+      "the guarantee holds with the drop rule at every truncation level; "
+      "harsher truncation benches more men (smaller matching), milder "
+      "truncation converges to the plain algorithm");
+
+  const NodeId n = bench::large_mode() ? 256 : 128;
+  const int seeds = 3;
+
+  Table table({"mm_budget", "drop_rule", "matched", "dropped", "bad_men",
+               "blocking/|E|", "guarantee"});
+  bool drop_always_ok = true;
+  for (const int budget : {1, 2, 4, 8}) {
+    for (const bool drop : {true, false}) {
+      Summary matched;
+      Summary dropped;
+      Summary bad;
+      Summary frac;
+      bool ok = true;
+      for (int s = 1; s <= seeds; ++s) {
+        const Instance inst = bench::make_family(
+            "complete", n, static_cast<std::uint64_t>(s));
+        core::AsmParams params;
+        params.epsilon = 0.25;
+        params.mm_backend = mm::Backend::kIsraeliItai;
+        params.seed = static_cast<std::uint64_t>(s) * 3 + 1;
+        params.mm_iteration_budget = budget;
+        params.drop_unsatisfied_men = drop;
+        const auto r = core::run_asm(inst, params);
+        matched.add(static_cast<double>(r.matching.size()));
+        std::int64_t d = 0;
+        for (const bool flag : r.dropped_men) d += flag ? 1 : 0;
+        dropped.add(static_cast<double>(d));
+        bad.add(static_cast<double>(r.bad_count));
+        const double f =
+            static_cast<double>(count_blocking_pairs(inst, r.matching)) /
+            static_cast<double>(inst.edge_count());
+        frac.add(f);
+        ok = ok && f <= 0.25;
+      }
+      if (drop) drop_always_ok = drop_always_ok && ok;
+      table.add_row({Table::num((long long)budget), drop ? "on" : "off",
+                     Table::num(matched.mean(), 1),
+                     Table::num(dropped.mean(), 1), Table::num(bad.mean(), 1),
+                     Table::num(frac.mean(), 5), ok ? "met" : "VIOLATED"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  bench::print_verdict(
+      drop_always_ok,
+      "with the drop rule on, every truncation level met the eps*|E| "
+      "budget (footnote 2's repair works as claimed)");
+  return drop_always_ok ? 0 : 1;
+}

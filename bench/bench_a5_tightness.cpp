@@ -1,0 +1,75 @@
+// A5 — empirical tightness of Theorem 3 (beyond the paper): random
+// search over many instances and seeds for the worst observed ratio
+//
+//     blocking_pairs / (eps * |E|)   (guarantee violated iff > 1)
+//
+// and for the worst observed per-run certificate slack. Worst-case
+// bounds are expected to be loose on random inputs; the experiment
+// quantifies by how much, and doubles as a randomized stress hunt: any
+// ratio above 1 would be a bug in the implementation (or the theorem).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/engine.hpp"
+#include "stable/blocking.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dasm;
+  bench::print_header(
+      "A5",
+      "Empirical tightness of Theorem 3: sup over instances of "
+      "blocking/(eps|E|)",
+      "the ratio stays far below 1 on every family (worst-case analysis "
+      "is pessimistic on non-adversarial inputs), and never exceeds 1");
+
+  const int seeds = bench::large_mode() ? 12 : 6;
+  const double eps = 0.25;
+
+  Table table({"family", "runs", "worst blocking/(eps|E|)",
+               "worst blocking/certificate", "violations"});
+  double global_worst = 0.0;
+  int violations = 0;
+  for (const std::string family :
+       {"complete", "incomplete", "regular", "bounded", "master", "zipf",
+        "geometric", "social", "chain"}) {
+    double worst_ratio = 0.0;
+    double worst_cert = 0.0;
+    int runs = 0;
+    for (int s = 1; s <= seeds; ++s) {
+      for (const NodeId n : std::vector<NodeId>{32, 64, 96}) {
+        const Instance inst =
+            bench::make_family(family, n, static_cast<std::uint64_t>(s));
+        core::AsmParams params;
+        params.epsilon = eps;
+        params.seed = static_cast<std::uint64_t>(s) * 17 + 5;
+        const auto r = core::run_asm(inst, params);
+        const auto blocking = count_blocking_pairs(inst, r.matching);
+        const double budget =
+            eps * static_cast<double>(inst.edge_count());
+        const double ratio =
+            budget > 0 ? static_cast<double>(blocking) / budget : 0.0;
+        worst_ratio = std::max(worst_ratio, ratio);
+        if (ratio > 1.0) ++violations;
+        const auto cert = core::blocking_certificate(inst, r);
+        if (cert.certified_bound > 0) {
+          worst_cert = std::max(
+              worst_cert, static_cast<double>(blocking) /
+                              static_cast<double>(cert.certified_bound));
+        }
+        ++runs;
+      }
+    }
+    global_worst = std::max(global_worst, worst_ratio);
+    table.add_row({family, Table::num((long long)runs),
+                   Table::num(worst_ratio, 5), Table::num(worst_cert, 5),
+                   Table::num((long long)violations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nglobal worst blocking/(eps|E|): " << global_worst << "\n\n";
+  const bool ok = violations == 0;
+  bench::print_verdict(ok, "no run came close to the Theorem-3 budget; the "
+                           "bound is sound and very conservative here");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the experiment binaries (E1..E12; see DESIGN.md §3
+// and EXPERIMENTS.md). Each binary prints the experiment id, the paper
+// claim it reproduces, and a table of measured series.
+//
+// All binaries accept --seeds/--scale-style flags where it makes sense and
+// honour the DASM_BENCH_LARGE=1 environment variable for bigger sweeps.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gen/generators.hpp"
+#include "stable/instance.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace dasm::bench {
+
+inline bool large_mode() {
+  const char* v = std::getenv("DASM_BENCH_LARGE");
+  return v != nullptr && std::string(v) != "0";
+}
+
+inline void print_header(const std::string& id, const std::string& claim,
+                         const std::string& expected_shape) {
+  std::cout << "==================================================\n"
+            << "Experiment " << id << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "Expected shape: " << expected_shape << "\n"
+            << "==================================================\n\n";
+}
+
+inline void print_verdict(bool ok, const std::string& what) {
+  std::cout << (ok ? "[SHAPE OK]  " : "[SHAPE MISMATCH]  ") << what << "\n";
+}
+
+/// Instance family registry used across experiments.
+inline Instance make_family(const std::string& family, NodeId n,
+                            std::uint64_t seed) {
+  if (family == "complete") return gen::complete_uniform(n, seed);
+  if (family == "incomplete") {
+    // Expected degree ~16 regardless of n.
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return gen::incomplete_uniform(n, n, p, seed);
+  }
+  if (family == "regular")
+    return gen::regular_bipartite(n, std::min<NodeId>(n, 16), seed);
+  if (family == "bounded")
+    return gen::bounded_degree(n, std::min<NodeId>(n, 8), seed);
+  if (family == "master") return gen::master_list(n, n, seed);
+  if (family == "almost_regular")
+    return gen::almost_regular(n, std::max<NodeId>(1, 8),
+                               std::min<NodeId>(n, 24), seed);
+  if (family == "chain") return gen::gs_displacement_chain(n);
+  if (family == "zipf") return gen::zipf_popularity(n, 1.5, seed);
+  if (family == "geometric")
+    return gen::geometric_knn(n, std::min<NodeId>(n, 8), seed);
+  if (family == "social")
+    return gen::windowed_acquaintance(n, std::min<NodeId>(n / 2, 10), 3, seed);
+  DASM_CHECK_MSG(false, "unknown family '" << family << "'");
+  return gen::complete_uniform(n, seed);
+}
+
+}  // namespace dasm::bench

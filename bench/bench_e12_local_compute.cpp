@@ -1,0 +1,98 @@
+// E12 — Remarks 3/4: the local computation ASM performs per communication
+// round is near-linear in each processor's input, so the synchronous
+// run-time is O~(n) — sub-quadratic, unlike Gale-Shapley's Theta~(n^2)
+// total work in the worst case. Google-benchmark micro-measurements of
+// the library's hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/player.hpp"
+#include "gen/generators.hpp"
+#include "mm/runner.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+
+namespace {
+
+using namespace dasm;
+
+void BM_AsmPerRound(benchmark::State& state) {
+  // Wall time of a full deterministic ASM run divided by executed rounds:
+  // the average local-computation cost of one synchronous round across
+  // all processors. Near-linear growth in n reproduces Remark 4.
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Instance inst = gen::regular_bipartite(n, 16, 7);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    core::AsmParams params;
+    params.epsilon = 0.25;
+    const auto r = core::run_asm(inst, params);
+    rounds = r.net.executed_rounds;
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_AsmPerRound)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GaleShapleyCentralized(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Instance inst = gen::complete_uniform(n, 3);
+  for (auto _ : state) {
+    const auto r = gale_shapley(inst);
+    benchmark::DoNotOptimize(r.proposals);
+  }
+}
+BENCHMARK(BM_GaleShapleyCentralized)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_BlockingPairCount(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Instance inst = gen::complete_uniform(n, 5);
+  const auto gs = gale_shapley(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_blocking_pairs(inst, gs.matching));
+  }
+}
+BENCHMARK(BM_BlockingPairCount)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_QuantileOfRank(benchmark::State& state) {
+  NodeId acc = 0;
+  NodeId r = 0;
+  for (auto _ : state) {
+    acc += core::quantile_of_rank(r, 1024, 32);
+    r = (r + 1) & 1023;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_QuantileOfRank);
+
+void BM_IsraeliItaiIteration(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Instance inst = gen::regular_bipartite(n, 8, 9);
+  const Graph& g = inst.graph().graph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    mm::RunConfig c;
+    c.backend = mm::Backend::kIsraeliItai;
+    c.seed = seed++;
+    c.max_iterations = 1;
+    c.stop_on_quiescence = false;
+    const auto r = mm::run_maximal_matching(g, {}, c);
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+}
+BENCHMARK(BM_IsraeliItaiIteration)->RangeMultiplier(2)->Range(128, 1024);
+
+void BM_InstanceGeneration(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Instance inst = gen::complete_uniform(n, seed++);
+    benchmark::DoNotOptimize(inst.edge_count());
+  }
+}
+BENCHMARK(BM_InstanceGeneration)->RangeMultiplier(2)->Range(64, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

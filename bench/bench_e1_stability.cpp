@@ -1,0 +1,56 @@
+// E1 — Theorem 1/3: ASM outputs a (1 - eps)-stable matching: at most
+// eps * |E| blocking pairs, for every preference family and every eps.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "stable/blocking.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dasm;
+  bench::print_header(
+      "E1", "Theorem 3: ASM induces at most eps*|E| blocking pairs",
+      "measured blocking fraction <= eps on every family and every eps");
+
+  const NodeId n = bench::large_mode() ? 256 : 128;
+  const int seeds = bench::large_mode() ? 5 : 3;
+
+  Table table({"family", "eps", "n", "|E|", "blocking(mean)", "budget",
+               "fraction", "good_men%", "ok"});
+  bool all_ok = true;
+  for (const std::string family : {"complete", "incomplete", "regular",
+                                   "master", "geometric", "social", "zipf"}) {
+    for (const double eps : {0.5, 0.25, 0.125, 0.0625}) {
+      Summary blocking;
+      Summary good_frac;
+      double edges = 0;
+      bool ok = true;
+      for (int s = 1; s <= seeds; ++s) {
+        const Instance inst =
+            bench::make_family(family, n, static_cast<std::uint64_t>(s));
+        core::AsmParams params;
+        params.epsilon = eps;
+        const auto r = core::run_asm(inst, params);
+        validate_matching(inst, r.matching);
+        const auto bp = count_blocking_pairs(inst, r.matching);
+        blocking.add(static_cast<double>(bp));
+        good_frac.add(100.0 * static_cast<double>(r.good_count) /
+                      static_cast<double>(inst.n_men()));
+        edges = static_cast<double>(inst.edge_count());
+        ok = ok && static_cast<double>(bp) <= eps * edges;
+      }
+      all_ok = all_ok && ok;
+      table.add_row({family, Table::num(eps), Table::num((long long)n),
+                     Table::num((long long)edges), Table::num(blocking.mean(), 1),
+                     Table::num(eps * edges, 1),
+                     Table::num(blocking.mean() / edges, 5),
+                     Table::num(good_frac.mean(), 1), ok ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  bench::print_verdict(all_ok,
+                       "every (family, eps) cell satisfies Theorem 3");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// Hospitals/Residents (many-to-one) matching through the seat expansion —
+// a practical extension: residency programs with capacities, matched
+// distributedly with RandASM, compared against the exact (NRMP-style)
+// resident-proposing Gale–Shapley outcome.
+//
+//   hospital_residents [--residents 300] [--hospitals 30] [--cap 12]
+//                      [--eps 0.25] [--seed 4]
+#include <iostream>
+
+#include "core/rand_asm.hpp"
+#include "stable/blocking.hpp"
+#include "stable/capacitated.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dasm;
+
+// Residents rank a random subset of programs; programs rank applicants by
+// a noisy common score (exam-like); capacities vary around `cap`.
+CapacitatedInstance make_market(NodeId residents, NodeId hospitals,
+                                NodeId cap, std::uint64_t seed) {
+  Xoshiro256 rng = derive_stream(seed, 0x4272);
+  std::vector<double> score(static_cast<std::size_t>(residents));
+  for (auto& s : score) s = rng.uniform01();
+
+  CapacitatedInstance market;
+  std::vector<std::vector<NodeId>> hos_adj(
+      static_cast<std::size_t>(hospitals));
+  for (NodeId r = 0; r < residents; ++r) {
+    std::vector<NodeId> apps;
+    for (NodeId h = 0; h < hospitals; ++h) {
+      if (rng.bernoulli(0.3)) {
+        apps.push_back(h);
+        hos_adj[static_cast<std::size_t>(h)].push_back(r);
+      }
+    }
+    rng.shuffle(apps);
+    market.residents.emplace_back(std::move(apps));
+  }
+  for (NodeId h = 0; h < hospitals; ++h) {
+    auto& adj = hos_adj[static_cast<std::size_t>(h)];
+    // Each program perceives every applicant's score with its own noise;
+    // the perceived scores are fixed before sorting.
+    std::vector<std::pair<double, NodeId>> perceived;
+    perceived.reserve(adj.size());
+    for (NodeId r : adj) {
+      perceived.emplace_back(
+          -(score[static_cast<std::size_t>(r)] + 0.2 * rng.uniform01()), r);
+    }
+    std::sort(perceived.begin(), perceived.end());
+    adj.clear();
+    for (const auto& [neg_score, r] : perceived) adj.push_back(r);
+    market.hospitals.emplace_back(std::move(adj));
+    market.capacities.push_back(
+        static_cast<NodeId>(rng.range(std::max<NodeId>(1, cap / 2), cap)));
+  }
+  return market;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dasm;
+  const Cli cli(argc, argv);
+  const NodeId residents = static_cast<NodeId>(cli.get_int("residents", 300));
+  const NodeId hospitals = static_cast<NodeId>(cli.get_int("hospitals", 30));
+  const NodeId cap = static_cast<NodeId>(cli.get_int("cap", 12));
+  const double eps = cli.get_double("eps", 0.25);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
+
+  const SeatExpansion market(make_market(residents, hospitals, cap, seed));
+  std::cout << "residency market: " << residents << " residents, "
+            << hospitals << " programs, " << market.n_seats()
+            << " total seats, |E_seats|=" << market.expanded().edge_count()
+            << "\n\n";
+
+  core::RandAsmParams params;
+  params.epsilon = eps;
+  params.seed = seed;
+  const auto r = core::run_rand_asm(market.expanded(), params);
+  const auto assignment = market.fold(r.matching);
+
+  const auto gs = gale_shapley(market.expanded());
+  const auto gs_assignment = market.fold(gs.matching);
+
+  auto placed = [&](const std::vector<NodeId>& a) {
+    std::int64_t count = 0;
+    for (NodeId h : a) count += (h != kNoNode) ? 1 : 0;
+    return count;
+  };
+
+  Table table({"metric", "RandASM (distributed)", "GS (exact, centralized)"});
+  table.add_row({"placed residents", Table::num(placed(assignment)),
+                 Table::num(placed(gs_assignment))});
+  table.add_row({"HR blocking pairs",
+                 Table::num(market.count_blocking_pairs(assignment)),
+                 Table::num(market.count_blocking_pairs(gs_assignment))});
+  table.add_row({"communication rounds", Table::num(r.net.executed_rounds),
+                 "n/a"});
+  table.add_row({"messages", Table::num(r.net.messages), "n/a"});
+  table.print(std::cout);
+
+  std::cout << "\nseat-level guarantee: <= "
+            << eps * static_cast<double>(market.expanded().edge_count())
+            << " blocking pairs ("
+            << (is_almost_stable(market.expanded(), r.matching, eps)
+                    ? "met"
+                    : "NOT met")
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The epsilon knob: sweeps the approximation target and reports the
+// stability/communication frontier ASM exposes — from "cheap and rough"
+// (small k, few rounds) to exact Gale–Shapley behaviour (k = deg(v),
+// §3.2). This is the trade a deployment actually tunes.
+//
+//   quality_frontier [--n 192] [--family complete] [--seed 5]
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dasm;
+  const Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 192));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  const std::string family = cli.get("family", "complete");
+
+  const Instance inst = [&]() -> Instance {
+    if (family == "master") return gen::master_list(n, n, seed);
+    if (family == "geometric") return gen::geometric_knn(n, 8, seed);
+    if (family == "social")
+      return gen::windowed_acquaintance(n, 10, 3, seed);
+    return gen::complete_uniform(n, seed);
+  }();
+  std::cout << "family=" << family << " n=" << n
+            << " |E|=" << inst.edge_count() << "\n\n";
+
+  Table table({"mode", "k", "blocking/|E|", "rounds", "messages",
+               "mean_rank(m)", "stable?"});
+  auto report = [&](const std::string& mode, const core::AsmParams& params) {
+    const auto r = core::run_asm(inst, params);
+    validate_matching(inst, r.matching);
+    const auto bp = count_blocking_pairs(inst, r.matching);
+    const auto metrics = compute_metrics(inst, r.matching);
+    table.add_row(
+        {mode,
+         params.per_player_quantiles ? "deg(v)" : Table::num((long long)r.schedule.k),
+         Table::num(static_cast<double>(bp) /
+                        static_cast<double>(inst.edge_count()),
+                    5),
+         Table::num(r.net.executed_rounds), Table::num(r.net.messages),
+         Table::num(metrics.mean_man_rank(), 2), bp == 0 ? "yes" : "no"});
+  };
+
+  for (const double eps : {0.5, 0.25, 0.125, 0.0625, 0.03125}) {
+    core::AsmParams params;
+    params.epsilon = eps;
+    params.seed = seed;
+    report("ASM eps=" + Table::num(eps), params);
+  }
+  core::AsmParams mimic;
+  mimic.epsilon = 0.25;
+  mimic.per_player_quantiles = true;  // §3.2: exact Gale–Shapley behaviour
+  mimic.seed = seed;
+  report("GS-mimic (Sec 3.2)", mimic);
+  table.print(std::cout);
+
+  std::cout << "\nReading the frontier: smaller eps buys fewer blocking "
+               "pairs for more rounds/messages; per-player k = deg(v) is "
+               "the exact-stability endpoint.\n";
+  return 0;
+}

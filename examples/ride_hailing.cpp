@@ -1,0 +1,67 @@
+// Ride-hailing dispatch with AlmostRegularASM (§5.2).
+//
+// Drivers and riders sit on a unit grid. Every driver ranks his k nearest
+// riders by pickup distance; riders rank the drivers who can reach them by
+// driver rating. Because every driver considers exactly k candidates the
+// preferences are 1-almost-regular on the proposing side, which is the
+// regime where AlmostRegularASM dispatches in O(1) communication rounds
+// independent of the city's size — exactly what a latency-bound dispatch
+// loop needs. A blocking pair here is "a driver and a rider who would both
+// rather be assigned to each other": the (1-eps) guarantee bounds how much
+// such envy a dispatch round can leave behind.
+//
+//   ride_hailing [--n 400] [--k 8] [--eps 0.25] [--seed 3]
+#include <iostream>
+
+#include "core/almost_regular_asm.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/cli.hpp"
+#include "gen/generators.hpp"
+#include "util/table.hpp"
+
+
+int main(int argc, char** argv) {
+  using namespace dasm;
+  const Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 400));
+  const NodeId k = static_cast<NodeId>(cli.get_int("k", 8));
+  const double eps = cli.get_double("eps", 0.25);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  const Instance inst = gen::geometric_knn(n, k, seed);
+  std::cout << "dispatch instance: " << n << " drivers, " << n
+            << " riders, k=" << k << " candidates/driver, |E|="
+            << inst.edge_count() << ", alpha=" << inst.regularity_alpha()
+            << "\n\n";
+
+  core::AlmostRegularAsmParams params;
+  params.epsilon = eps;
+  params.seed = seed;
+  const auto r = core::run_almost_regular_asm(inst, params);
+  validate_matching(inst, r.matching);
+
+  const auto gs = gale_shapley(inst);  // centralized exact reference
+
+  std::int64_t dropped = 0;
+  for (const bool d : r.dropped_men) dropped += d ? 1 : 0;
+
+  Table table({"metric", "AlmostRegularASM", "centralized GS"});
+  table.add_row({"dispatched pairs", Table::num(r.matching.size()),
+                 Table::num(gs.matching.size())});
+  table.add_row(
+      {"envy (blocking) pairs",
+       Table::num(count_blocking_pairs(inst, r.matching)),
+       Table::num(count_blocking_pairs(inst, gs.matching))});
+  table.add_row({"communication rounds", Table::num(r.net.executed_rounds),
+                 "n/a (centralized)"});
+  table.add_row({"messages", Table::num(r.net.messages), "n/a"});
+  table.add_row({"drivers benched (AMM drop rule)", Table::num(dropped), "0"});
+  table.print(std::cout);
+
+  std::cout << "\nenvy budget eps*|E| = " << eps * inst.edge_count() << " ("
+            << (is_almost_stable(inst, r.matching, eps) ? "met" : "NOT met")
+            << "); schedule is independent of city size: "
+            << r.schedule.scheduled_rounds() << " scheduled rounds\n";
+  return 0;
+}

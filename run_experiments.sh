@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every experiment table in EXPERIMENTS.md.
+#
+#   ./run_experiments.sh [output-file]
+#
+# DASM_BENCH_LARGE=1 enlarges the sweeps (slower, same shapes).
+set -e
+out="${1:-experiments_output.txt}"
+cmake -B build -G Ninja
+cmake --build build
+: > "$out"
+for b in build/bench/bench_*; do
+  echo "##### $b" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+done
+echo "wrote $out"

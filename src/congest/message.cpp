@@ -1,0 +1,70 @@
+#include "congest/message.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dasm {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kPropose:
+      return "PROPOSE";
+    case MsgType::kAccept:
+      return "ACCEPT";
+    case MsgType::kReject:
+      return "REJECT";
+    case MsgType::kMmPick:
+      return "MM_PICK";
+    case MsgType::kMmKeep:
+      return "MM_KEEP";
+    case MsgType::kMmChoose:
+      return "MM_CHOOSE";
+    case MsgType::kMmMatched:
+      return "MM_MATCHED";
+    case MsgType::kMmPropose:
+      return "MM_PROPOSE";
+    case MsgType::kMmAcceptP:
+      return "MM_ACCEPT";
+    case MsgType::kMmPriority:
+      return "MM_PRIORITY";
+    case MsgType::kPort:
+      return "PORT";
+    case MsgType::kParent:
+      return "PARENT";
+    case MsgType::kColor:
+      return "COLOR";
+    case MsgType::kGsPropose:
+      return "GS_PROPOSE";
+    case MsgType::kGsReject:
+      return "GS_REJECT";
+    case MsgType::kBcast:
+      return "BCAST";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// Bits needed to transmit a (sign, magnitude) varint payload field.
+int payload_bits(std::int64_t v) {
+  if (v == 0) return 0;
+  std::uint64_t mag = static_cast<std::uint64_t>(v < 0 ? -v : v);
+  int bits = 1;  // sign bit
+  while (mag > 0) {
+    ++bits;
+    mag >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+int Message::encoded_bits() const { return 8 + payload_bits(a) + payload_bits(b); }
+
+std::string to_debug_string(const Message& m) {
+  std::ostringstream os;
+  os << to_string(m.type) << "(" << m.a << "," << m.b << ")";
+  return os.str();
+}
+
+}  // namespace dasm

@@ -1,0 +1,62 @@
+// CONGEST messages.
+//
+// A message is a small tagged record: an 8-bit type plus up to two integer
+// payload fields. encoded_bits() computes the wire size used for the
+// O(log n)-bit CONGEST budget check and for the per-experiment
+// communication accounting (§2.2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dasm {
+
+/// Message kinds used by the protocols in this library. A real deployment
+/// would namespace these per protocol; a single enum keeps the simulator's
+/// accounting and tracing simple.
+enum class MsgType : std::uint8_t {
+  // ProposalRound (Algorithm 1).
+  kPropose,    // Step 1: man -> woman
+  kAccept,     // Step 2: woman -> man
+  kReject,     // Step 4: woman -> man
+  // Israeli–Itai MatchingRound (Algorithm 4).
+  kMmPick,     // step 1: v picks a random neighbour
+  kMmKeep,     // step 2: v keeps one incoming edge, notifies its source
+  kMmChoose,   // step 3: v chooses one incident kept edge
+  kMmMatched,  // step 4: matched vertices withdraw from the residual graph
+  // Deterministic pointer-greedy maximal matching.
+  kMmPropose,  // left vertex proposes to first live neighbour
+  kMmAcceptP,  // right vertex accepts the smallest-id proposer
+  // Random-priority (Luby-style) maximal matching.
+  kMmPriority,  // lower-id endpoint announces an edge's random priority
+  // Color-class maximal matching (Panconesi–Rizzi style).
+  kPort,    // a vertex's port number for an incident edge
+  kParent,  // a vertex's chosen pseudoforest parent
+  kColor,   // a vertex's current Cole–Vishkin color
+  // Distributed Gale–Shapley.
+  kGsPropose,
+  kGsReject,
+  // Broadcast-and-solve baseline (footnote 1).
+  kBcast,  // one preference-list entry
+};
+
+/// Human-readable tag for traces and test failure messages.
+const char* to_string(MsgType type);
+
+/// A CONGEST message. Payload semantics depend on the type; unused fields
+/// stay zero and cost no bits.
+struct Message {
+  MsgType type;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  /// Wire size in bits: 8 tag bits plus a varint-style cost for each
+  /// nonzero payload field.
+  int encoded_bits() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+std::string to_debug_string(const Message& m);
+
+}  // namespace dasm

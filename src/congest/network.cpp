@@ -1,0 +1,145 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+static_assert(static_cast<std::size_t>(MsgType::kBcast) <
+                  std::tuple_size_v<decltype(NetStats::messages_by_type)>,
+              "messages_by_type is too small for the MsgType enum");
+
+namespace {
+
+int default_bit_budget(std::size_t n) {
+  // The CONGEST model allows O(log n)-bit messages; we budget 8 machine
+  // "digits" of ceil(log2(n + 2)) bits each, comfortably enough for a tag
+  // plus two ids / ranks while still scaling as Theta(log n).
+  const auto width =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(n) + 2.0)));
+  return 8 * std::max(width, 4);
+}
+
+}  // namespace
+
+Network::Network(std::vector<std::vector<NodeId>> adjacency,
+                 int message_bit_budget)
+    : adj_(std::move(adjacency)) {
+  const auto n = adj_.size();
+  bit_budget_ = message_bit_budget > 0 ? message_bit_budget
+                                       : default_bit_budget(n);
+  inboxes_.resize(n);
+  outboxes_.resize(n);
+  sent_stamp_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto& nb = adj_[v];
+    std::sort(nb.begin(), nb.end());
+    DASM_CHECK_MSG(std::adjacent_find(nb.begin(), nb.end()) == nb.end(),
+                   "duplicate neighbour in adjacency of node " << v);
+    for (NodeId u : nb) {
+      DASM_CHECK_MSG(u >= 0 && static_cast<std::size_t>(u) < n,
+                     "neighbour id out of range: " << u);
+      DASM_CHECK_MSG(u != static_cast<NodeId>(v), "self-loop at node " << v);
+    }
+    sent_stamp_[v].assign(nb.size(), -1);
+  }
+  // Verify symmetry: (u, v) in adj[u] implies (v, u) in adj[v].
+  for (std::size_t v = 0; v < n; ++v) {
+    for (NodeId u : adj_[v]) {
+      const auto& back = adj_[static_cast<std::size_t>(u)];
+      DASM_CHECK_MSG(
+          std::binary_search(back.begin(), back.end(), static_cast<NodeId>(v)),
+          "asymmetric adjacency between " << v << " and " << u);
+    }
+  }
+}
+
+const std::vector<NodeId>& Network::neighbors(NodeId v) const {
+  DASM_CHECK(v >= 0 && v < node_count());
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+bool Network::has_edge(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= node_count() || v >= node_count()) return false;
+  const auto& nb = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::size_t Network::neighbor_index(NodeId from, NodeId to) const {
+  const auto& nb = adj_[static_cast<std::size_t>(from)];
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  DASM_CHECK_MSG(it != nb.end() && *it == to,
+                 "send along non-edge " << from << " -> " << to);
+  return static_cast<std::size_t>(it - nb.begin());
+}
+
+void Network::begin_round() {
+  DASM_CHECK_MSG(!round_open_, "begin_round() while a round is open");
+  round_open_ = true;
+  ++round_serial_;
+}
+
+void Network::send(NodeId from, NodeId to, const Message& msg) {
+  DASM_CHECK_MSG(round_open_, "send() outside begin_round()/end_round()");
+  DASM_CHECK(from >= 0 && from < node_count());
+  const std::size_t idx = neighbor_index(from, to);
+  auto& stamp = sent_stamp_[static_cast<std::size_t>(from)][idx];
+  DASM_CHECK_MSG(stamp != round_serial_,
+                 "two messages on directed edge " << from << " -> " << to
+                                                  << " in one round");
+  stamp = round_serial_;
+  const int bits = msg.encoded_bits();
+  DASM_CHECK_MSG(bits <= bit_budget_,
+                 "message " << to_debug_string(msg) << " is " << bits
+                            << " bits; CONGEST budget is " << bit_budget_);
+  if (trace_cap_ > 0) {
+    if (trace_.size() >= trace_cap_) {
+      trace_.erase(trace_.begin());
+      ++trace_dropped_;
+    }
+    trace_.push_back(TraceEvent{stats_.executed_rounds, from, to, msg});
+  }
+  outboxes_[static_cast<std::size_t>(to)].push_back(Envelope{from, msg});
+  ++stats_.messages;
+  ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
+  stats_.bits += bits;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+}
+
+void Network::end_round() {
+  DASM_CHECK_MSG(round_open_, "end_round() without begin_round()");
+  round_open_ = false;
+  last_round_silent_ = true;
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    inboxes_[v] = std::move(outboxes_[v]);
+    outboxes_[v].clear();
+    if (!inboxes_[v].empty()) last_round_silent_ = false;
+  }
+  ++stats_.executed_rounds;
+  ++stats_.scheduled_rounds;
+}
+
+const std::vector<Envelope>& Network::inbox(NodeId v) const {
+  DASM_CHECK(v >= 0 && v < node_count());
+  return inboxes_[static_cast<std::size_t>(v)];
+}
+
+void Network::charge_scheduled_rounds(std::int64_t rounds) {
+  DASM_CHECK(rounds >= 0);
+  stats_.scheduled_rounds += rounds;
+}
+
+void Network::enable_trace(std::size_t max_events) {
+  trace_cap_ = max_events;
+  if (max_events == 0) {
+    trace_.clear();
+    trace_dropped_ = 0;
+  } else {
+    trace_.reserve(max_events);
+  }
+}
+
+}  // namespace dasm

@@ -1,0 +1,126 @@
+// The synchronous CONGEST network simulator (§2.2 of the paper).
+//
+// Processors are identified by NodeId. Communication is restricted to the
+// edges of a fixed communication graph; each round every processor may send
+// at most one short (O(log n)-bit) message to each neighbour. A round is
+// executed as:
+//
+//   net.begin_round();
+//   ... protocol code calls net.send(from, to, msg) ...
+//   net.end_round();                 // messages become visible
+//   ... next round reads net.inbox(v) ...
+//
+// The network enforces the model (edges only, one message per directed edge
+// per round, message size budget) and records rounds / messages / bits so
+// every experiment can report communication cost. Rounds that a schedule
+// allocates but that provably move no messages can be charged separately
+// via charge_scheduled_rounds(), keeping the "paper schedule" accounting
+// distinct from the "executed" accounting (see DESIGN.md §2.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/types.hpp"
+
+namespace dasm {
+
+/// A received message together with its sender.
+struct Envelope {
+  NodeId from;
+  Message msg;
+};
+
+/// One traced transmission (see Network::enable_trace).
+struct TraceEvent {
+  Round round;
+  NodeId from;
+  NodeId to;
+  Message msg;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Cumulative traffic statistics for a protocol execution.
+struct NetStats {
+  std::int64_t executed_rounds = 0;   ///< rounds in which end_round() ran
+  std::int64_t scheduled_rounds = 0;  ///< executed + charged-but-skipped
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+  int max_message_bits = 0;
+  /// Message count per MsgType — the traffic breakdown of a protocol
+  /// (how much is proposing vs. rejecting vs. matching-subroutine).
+  std::array<std::int64_t, 16> messages_by_type{};
+
+  std::int64_t count_of(MsgType type) const {
+    return messages_by_type[static_cast<std::size_t>(type)];
+  }
+};
+
+class Network {
+ public:
+  /// Builds a network over the given undirected adjacency lists.
+  /// `adjacency[v]` lists the neighbours of v; the relation must be
+  /// symmetric. `message_bit_budget` caps a single message's encoded size
+  /// (pass 0 to derive the standard CONGEST budget 8 * ceil(log2(n + 2))).
+  explicit Network(std::vector<std::vector<NodeId>> adjacency,
+                   int message_bit_budget = 0);
+
+  NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const;
+  int message_bit_budget() const { return bit_budget_; }
+
+  /// Starts a communication round. Must alternate with end_round().
+  void begin_round();
+
+  /// Sends a message from `from` to its neighbour `to` in the current
+  /// round. Enforces: round open, (from, to) is an edge, at most one
+  /// message per directed edge per round, size within budget.
+  void send(NodeId from, NodeId to, const Message& msg);
+
+  /// Closes the round: delivers this round's messages into the inboxes
+  /// read during the next round and updates statistics.
+  void end_round();
+
+  /// Messages delivered to v by the most recent end_round().
+  const std::vector<Envelope>& inbox(NodeId v) const;
+
+  /// True if the most recent end_round() delivered no messages at all.
+  bool last_round_was_silent() const { return last_round_silent_; }
+
+  /// Adds rounds that the paper's schedule allocates but the simulator
+  /// skipped because they provably exchange no messages.
+  void charge_scheduled_rounds(std::int64_t rounds);
+
+  const NetStats& stats() const { return stats_; }
+
+  /// Starts recording every transmission, keeping at most `max_events`
+  /// (older events are dropped once the cap is hit, and dropped_trace()
+  /// reports how many). Pass 0 to stop tracing.
+  void enable_trace(std::size_t max_events);
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  std::int64_t dropped_trace_events() const { return trace_dropped_; }
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;          // sorted neighbour lists
+  std::vector<std::vector<Envelope>> inboxes_;    // visible this round
+  std::vector<std::vector<Envelope>> outboxes_;   // accumulating this round
+  // Directed-edge send guard, reset each round: (from -> to) stamped with
+  // the id of the round it was last used in.
+  std::vector<std::vector<std::int64_t>> sent_stamp_;
+  std::int64_t round_serial_ = 0;
+  bool round_open_ = false;
+  bool last_round_silent_ = true;
+  int bit_budget_ = 0;
+  NetStats stats_;
+  std::vector<TraceEvent> trace_;
+  std::size_t trace_cap_ = 0;
+  std::int64_t trace_dropped_ = 0;
+
+  std::size_t neighbor_index(NodeId from, NodeId to) const;
+};
+
+}  // namespace dasm

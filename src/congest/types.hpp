@@ -1,0 +1,20 @@
+// Fundamental identifier types shared across the simulator and protocols.
+#pragma once
+
+#include <cstdint>
+
+namespace dasm {
+
+/// Global processor id in a simulated network, 0-based. kNoNode marks
+/// "no partner / no neighbour".
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Synchronous communication round index.
+using Round = std::int64_t;
+
+/// Player gender in the stable-marriage instance. The paper's convention:
+/// men propose, women accept/reject.
+enum class Gender : std::uint8_t { Man, Woman };
+
+}  // namespace dasm

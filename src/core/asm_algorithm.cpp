@@ -1,0 +1,158 @@
+// Algorithm 3 (ASM): the outer degree-threshold loop, the inner
+// QuantileMatch loop, and result assembly.
+#include "core/engine.hpp"
+
+#include "mm/runner.hpp"
+#include "util/check.hpp"
+
+namespace dasm::core {
+
+AsmEngine::AsmEngine(const Instance& inst, const AsmParams& params)
+    : inst_(&inst),
+      params_(params),
+      sched_(resolve_schedule(params,
+                              std::max(inst.n_men(), inst.n_women()))),
+      net_(inst.graph().graph().adjacency()) {
+  const auto& bg = inst.graph();
+  auto make_mm = [&](NodeId node_id) {
+    return params.mm_node_factory
+               ? params.mm_node_factory(node_id)
+               : mm::make_node(params.mm_backend, params.seed, node_id);
+  };
+  auto player_k = [&](const PreferenceList& pref) {
+    // §3.2: k = deg(v) degenerates every quantile to a single partner.
+    return params.per_player_quantiles ? std::max<NodeId>(pref.degree(), 1)
+                                       : sched_.k;
+  };
+  men_.reserve(static_cast<std::size_t>(inst.n_men()));
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    men_.emplace_back(bg.man_id(m), inst.man_pref(m),
+                      player_k(inst.man_pref(m)),
+                      /*woman_id_offset=*/inst.n_men(),
+                      make_mm(bg.man_id(m)));
+  }
+  women_.reserve(static_cast<std::size_t>(inst.n_women()));
+  for (NodeId w = 0; w < inst.n_women(); ++w) {
+    women_.emplace_back(bg.woman_id(w), inst.woman_pref(w),
+                        player_k(inst.woman_pref(w)),
+                        make_mm(bg.woman_id(w)));
+  }
+}
+
+NodeId g0_degree_bound(const Instance& inst, NodeId k) {
+  DASM_CHECK(k >= 1);
+  NodeId bound = 1;
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    bound = std::max(bound, (inst.man_pref(m).degree() + k - 1) / k);
+  }
+  for (NodeId w = 0; w < inst.n_women(); ++w) {
+    bound = std::max(bound, (inst.woman_pref(w).degree() + k - 1) / k);
+  }
+  return bound;
+}
+
+bool AsmEngine::round_budget_exhausted() const {
+  return params_.max_rounds > 0 &&
+         net_.stats().executed_rounds >= params_.max_rounds;
+}
+
+bool AsmEngine::globally_quiescent() const {
+  // A silent QuantileMatch ends the execution for good: every currently
+  // gated-in man is matched or exhausted, active sets only shrink as the
+  // threshold doubles, and a good man only becomes bad again when some
+  // other man's proposal displaces him (see DESIGN.md substitution 3).
+  for (const auto& man : men_) {
+    if (man.would_propose()) return false;
+  }
+  return true;
+}
+
+void AsmEngine::record_snapshot(int outer_iteration) {
+  InnerSnapshot snap;
+  snap.outer_iteration = outer_iteration;
+  snap.inner_iteration = inner_iteration_counter_;
+  std::int64_t matched = 0;
+  for (const auto& man : men_) {
+    if (man.partner() != kNoNode) ++matched;
+    if (man.would_propose()) ++snap.men_with_live_targets;
+    if (!man.active() || man.dropped()) continue;
+    ++snap.active_men;
+    if (!man.good()) ++snap.bad_active_men;
+  }
+  snap.matched_pairs = matched;
+  trace_.push_back(snap);
+}
+
+AsmResult AsmEngine::run() {
+  for (int i = 0; i < sched_.outer; ++i) {
+    const std::int64_t threshold =
+        params_.gate_by_degree ? (std::int64_t{1} << std::min(i, 62)) : 1;
+    for (auto& man : men_) man.set_outer_gate(threshold);
+
+    for (std::int64_t j = 0; j < sched_.inner; ++j) {
+      const bool moved = run_quantile_match();
+      ++inner_iteration_counter_;
+      if (params_.record_trace) record_snapshot(i);
+      if (round_budget_exhausted()) return build_result();
+      if (params_.trim_quiescent_phases && !moved && globally_quiescent()) {
+        // Charge the rest of the paper schedule and stop.
+        const std::int64_t remaining_qms =
+            (sched_.inner - 1 - j) +
+            static_cast<std::int64_t>(sched_.outer - 1 - i) * sched_.inner;
+        net_.charge_scheduled_rounds(remaining_qms * sched_.k *
+                                     sched_.rounds_per_proposal_round());
+        return build_result();
+      }
+    }
+  }
+  return build_result();
+}
+
+AsmResult AsmEngine::build_result() {
+  AsmResult result;
+  result.schedule = sched_;
+  result.net = net_.stats();
+  result.proposal_rounds_executed = proposal_rounds_executed_;
+  result.quantile_matches_executed = quantile_matches_executed_;
+  result.mm_rounds_executed = mm_rounds_executed_;
+  result.mm_iterations_peak = mm_iterations_peak_;
+  result.trace = std::move(trace_);
+
+  const auto& bg = inst_->graph();
+  Matching matching(bg.node_count());
+  // The women's partner state is authoritative (Lemma 1: it only ever
+  // improves); the men's view agrees because displacements are processed
+  // at the end of every ProposalRound.
+  for (NodeId w = 0; w < inst_->n_women(); ++w) {
+    const NodeId m = women_[static_cast<std::size_t>(w)].partner();
+    if (m == kNoNode) continue;
+    DASM_CHECK_MSG(
+        men_[static_cast<std::size_t>(m)].partner() == w,
+        "man " << m << " and woman " << w << " disagree about their match");
+    matching.add(bg.man_id(m), bg.woman_id(w));
+  }
+  result.matching = std::move(matching);
+
+  result.good_men.resize(static_cast<std::size_t>(inst_->n_men()));
+  result.dropped_men.resize(static_cast<std::size_t>(inst_->n_men()));
+  result.final_q_size.resize(static_cast<std::size_t>(inst_->n_men()));
+  for (NodeId m = 0; m < inst_->n_men(); ++m) {
+    const auto& man = men_[static_cast<std::size_t>(m)];
+    result.good_men[static_cast<std::size_t>(m)] = man.good();
+    result.dropped_men[static_cast<std::size_t>(m)] = man.dropped();
+    result.final_q_size[static_cast<std::size_t>(m)] = man.q_size();
+    if (man.good()) {
+      ++result.good_count;
+    } else {
+      ++result.bad_count;
+    }
+  }
+  return result;
+}
+
+AsmResult run_asm(const Instance& inst, const AsmParams& params) {
+  AsmEngine engine(inst, params);
+  return engine.run();
+}
+
+}  // namespace dasm::core

@@ -1,0 +1,30 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasm::core {
+
+BlockingCertificate blocking_certificate(const Instance& inst,
+                                         const AsmResult& result) {
+  DASM_CHECK(static_cast<NodeId>(result.good_men.size()) == inst.n_men());
+  DASM_CHECK(static_cast<NodeId>(result.final_q_size.size()) == inst.n_men());
+  const auto edges = static_cast<double>(inst.edge_count());
+  BlockingCertificate cert;
+  cert.non_eps_blocking_bound = static_cast<std::int64_t>(std::ceil(
+      4.0 * edges / static_cast<double>(result.schedule.k)));
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    if (!result.good_men[static_cast<std::size_t>(m)]) {
+      cert.bad_q_sum += result.final_q_size[static_cast<std::size_t>(m)];
+    }
+  }
+  cert.certified_bound = cert.non_eps_blocking_bound + cert.bad_q_sum;
+  cert.paper_bound = static_cast<std::int64_t>(std::ceil(
+      4.0 * (result.schedule.delta +
+             1.0 / static_cast<double>(result.schedule.k)) *
+      edges));
+  return cert;
+}
+
+}  // namespace dasm::core

@@ -1,0 +1,53 @@
+#include "core/phase_script.hpp"
+
+#include "util/check.hpp"
+
+namespace dasm::core {
+
+const char* to_string(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kPropose:
+      return "propose";
+    case PhaseKind::kAccept:
+      return "accept";
+    case PhaseKind::kMmRound:
+      return "mm";
+    case PhaseKind::kResolve:
+      return "resolve";
+  }
+  return "unknown";
+}
+
+PhaseScript::PhaseScript(const Schedule& schedule) : sched_(schedule) {
+  DASM_CHECK_MSG(sched_.mm_budget_iterations > 0,
+                 "a self-timed schedule needs a fixed MM budget");
+  rounds_per_pr_ = sched_.rounds_per_proposal_round();
+}
+
+std::int64_t PhaseScript::total_rounds() const {
+  return sched_.scheduled_rounds();
+}
+
+Phase PhaseScript::at(std::int64_t round) const {
+  DASM_CHECK(round >= 0 && round < total_rounds());
+  const std::int64_t pr_index = round / rounds_per_pr_;
+  const std::int64_t within = round % rounds_per_pr_;
+
+  Phase phase;
+  const std::int64_t prs_per_outer = sched_.inner * sched_.k;
+  phase.outer = static_cast<int>(pr_index / prs_per_outer);
+  if (within == 0) {
+    phase.kind = PhaseKind::kPropose;
+    phase.quantile_match_start = (pr_index % sched_.k) == 0;
+  } else if (within == 1) {
+    phase.kind = PhaseKind::kAccept;
+  } else if (within < rounds_per_pr_ - 1) {
+    phase.kind = PhaseKind::kMmRound;
+    phase.mm_round = static_cast<int>(within - 2);
+  } else {
+    phase.kind = PhaseKind::kResolve;
+  }
+  return phase;
+}
+
+}  // namespace dasm::core

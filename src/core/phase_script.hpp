@@ -1,0 +1,57 @@
+// The globally known round schedule of ASM, as a pure function of the
+// resolved Schedule — the object every processor can compute locally from
+// (n, epsilon, backend budgets) without any coordination (§2.2: the round
+// structure is common knowledge in a synchronous network).
+//
+// Used by the self-timed execution mode (core/selftimed.hpp), where each
+// player consults the script with nothing but its own round counter, and
+// by tests that verify the engine's driver follows exactly this script.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+
+namespace dasm::core {
+
+enum class PhaseKind : std::uint8_t {
+  kPropose,  ///< ProposalRound Step 1 (QuantileMatch refill happens here
+             ///< when the script flags a QuantileMatch boundary)
+  kAccept,   ///< Step 2
+  kMmRound,  ///< one communication round of the Step-3 subroutine
+  kResolve,  ///< Step 4 (Step 5 is local processing of its output)
+};
+
+const char* to_string(PhaseKind kind);
+
+/// What a processor must do in one global round.
+struct Phase {
+  PhaseKind kind;
+  /// Outer iteration (degree-gate index i of Algorithm 3).
+  int outer = 0;
+  /// True on the first ProposalRound of a QuantileMatch: men refill their
+  /// active sets before proposing (Algorithm 2).
+  bool quantile_match_start = false;
+  /// Index of the MM round within the Step-3 subcall (0-based), only for
+  /// kMmRound; the first one resets the embedded protocol state.
+  int mm_round = 0;
+};
+
+class PhaseScript {
+ public:
+  /// Requires a fixed MM budget (mm_budget_iterations > 0): a self-timed
+  /// schedule cannot contain run-to-quiescence segments.
+  explicit PhaseScript(const Schedule& schedule);
+
+  /// Total rounds in the full schedule.
+  std::int64_t total_rounds() const;
+
+  /// The phase of global round r (0-based). Pure arithmetic: O(1).
+  Phase at(std::int64_t round) const;
+
+ private:
+  Schedule sched_;
+  std::int64_t rounds_per_pr_;
+};
+
+}  // namespace dasm::core

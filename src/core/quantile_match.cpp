@@ -1,0 +1,38 @@
+// Algorithm 2 (QuantileMatch): k ProposalRounds after refilling the men's
+// active sets from their best nonempty quantile.
+#include "core/engine.hpp"
+
+namespace dasm::core {
+
+bool AsmEngine::run_quantile_match() {
+  for (auto& man : men_) man.begin_quantile_match();
+
+  bool any_message = false;
+  for (NodeId pr = 0; pr < sched_.k; ++pr) {
+    if (params_.trim_quiescent_phases) {
+      // Within one QuantileMatch the active sets only shrink and a man
+      // only loses his partner when some other man's proposal displaces
+      // him, so once nobody would propose the remaining ProposalRounds
+      // are provably silent (Lemma 2's argument).
+      bool anyone = false;
+      for (const auto& man : men_) {
+        if (man.would_propose()) {
+          anyone = true;
+          break;
+        }
+      }
+      if (!anyone) {
+        net_.charge_scheduled_rounds(
+            static_cast<std::int64_t>(sched_.k - pr) *
+            sched_.rounds_per_proposal_round());
+        break;
+      }
+    }
+    any_message |= run_proposal_round();
+    if (round_budget_exhausted()) break;
+  }
+  ++quantile_matches_executed_;
+  return any_message;
+}
+
+}  // namespace dasm::core

@@ -1,0 +1,34 @@
+// RandASM (§5.1, Theorem 5): ASM with the Israeli–Itai randomized maximal
+// matching truncated to a Corollary-1 budget, so that by a union bound
+// every Step-3 subcall is maximal with probability at least
+// 1 - failure_prob and the whole execution inherits ASM's approximation
+// guarantee. Total scheduled rounds: O(eps^-3 log^2(n / (failure_prob
+// eps^3))).
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+
+namespace dasm::core {
+
+struct RandAsmParams {
+  double epsilon = 0.25;
+  /// Probability that some maximal-matching subcall is truncated before
+  /// reaching maximality (delta in Theorem 5).
+  double failure_prob = 0.05;
+  std::uint64_t seed = 1;
+  /// Assumed per-iteration survival factor c of Lemma 8 (measured by
+  /// bench E5; the default is conservative).
+  double decay = 0.75;
+  bool record_trace = false;
+  bool trim_quiescent_phases = true;
+};
+
+/// The Corollary-1 iteration budget RandASM gives each maximal-matching
+/// subcall, after union-bounding failure_prob across the whole schedule.
+int rand_asm_mm_budget(const Instance& inst, const RandAsmParams& params);
+
+AsmResult run_rand_asm(const Instance& inst, const RandAsmParams& params);
+
+}  // namespace dasm::core

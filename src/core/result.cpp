@@ -1,0 +1,42 @@
+#include "core/result.hpp"
+
+#include <ostream>
+
+namespace dasm::core {
+
+std::vector<bool> AsmResult::bad_men() const {
+  std::vector<bool> bad(good_men.size());
+  for (std::size_t i = 0; i < good_men.size(); ++i) bad[i] = !good_men[i];
+  return bad;
+}
+
+void AsmResult::print_summary(std::ostream& os) const {
+  os << "matched pairs:        " << matching.size() << '\n'
+     << "good men:             " << good_count << '\n'
+     << "bad men:              " << bad_count << '\n'
+     << "rounds executed:      " << net.executed_rounds << '\n'
+     << "rounds scheduled:     " << net.scheduled_rounds << '\n'
+     << "messages:             " << net.messages << '\n'
+     << "bits:                 " << net.bits << '\n'
+     << "max message bits:     " << net.max_message_bits << '\n'
+     << "proposal rounds:      " << proposal_rounds_executed << " executed / "
+     << schedule.scheduled_proposal_rounds() << " scheduled\n"
+     << "quantile matches:     " << quantile_matches_executed
+     << " executed / " << schedule.scheduled_quantile_matches()
+     << " scheduled\n"
+     << "mm rounds executed:   " << mm_rounds_executed << '\n'
+     << "mm iterations (peak): " << mm_iterations_peak << '\n'
+     << "traffic breakdown:    ";
+  bool first = true;
+  for (std::size_t t = 0; t < net.messages_by_type.size(); ++t) {
+    const auto count = net.messages_by_type[t];
+    if (count == 0) continue;
+    if (!first) os << ", ";
+    os << to_string(static_cast<MsgType>(t)) << "=" << count;
+    first = false;
+  }
+  if (first) os << "(none)";
+  os << '\n';
+}
+
+}  // namespace dasm::core

@@ -1,0 +1,64 @@
+// Execution results and diagnostics for ASM and its variants.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/schedule.hpp"
+#include "graph/matching.hpp"
+
+namespace dasm::core {
+
+/// Per-inner-iteration snapshot recorded when AsmParams::record_trace is
+/// set; drives experiment E7 (Lemma 6).
+struct InnerSnapshot {
+  int outer_iteration = 0;
+  std::int64_t inner_iteration = 0;  ///< global QuantileMatch index
+  std::int64_t active_men = 0;       ///< men with |Q| >= 2^i this iteration
+  std::int64_t bad_active_men = 0;   ///< active men unmatched with Q != {}
+  std::int64_t matched_pairs = 0;
+  /// Men whose active set A is still nonempty while unmatched — Lemma 2
+  /// guarantees this is 0 after every completed QuantileMatch.
+  std::int64_t men_with_live_targets = 0;
+};
+
+struct AsmResult {
+  Matching matching{0};
+  Schedule schedule;
+  NetStats net;  ///< executed_rounds / scheduled_rounds / messages / bits
+
+  /// ProposalRounds actually driven vs. allocated by the paper schedule.
+  std::int64_t proposal_rounds_executed = 0;
+  /// QuantileMatch calls actually driven (including partially trimmed).
+  std::int64_t quantile_matches_executed = 0;
+  /// Communication rounds spent inside maximal-matching subcalls.
+  std::int64_t mm_rounds_executed = 0;
+  /// Largest number of MM iterations any single subcall used.
+  int mm_iterations_peak = 0;
+
+  /// Final good/bad partition (§4): good_men[m] iff man m is matched or
+  /// has been rejected by every acceptable partner.
+  std::vector<bool> good_men;
+  /// Men removed from play by the almost-maximal-matching rule (§5.2);
+  /// empty unless drop_unsatisfied_men was set.
+  std::vector<bool> dropped_men;
+
+  /// |Q^m| at termination for every man — the quantity Lemma 7 uses to
+  /// bound each bad man's (2/k)-blocking pairs.
+  std::vector<NodeId> final_q_size;
+
+  std::int64_t good_count = 0;
+  std::int64_t bad_count = 0;
+
+  std::vector<InnerSnapshot> trace;
+
+  /// bad_men = !good_men, as a man filter for blocking-pair audits.
+  std::vector<bool> bad_men() const;
+
+  /// Human-readable one-paragraph summary.
+  void print_summary(std::ostream& os) const;
+};
+
+}  // namespace dasm::core

@@ -1,0 +1,40 @@
+// Self-timed execution: the strictest fidelity mode of this library.
+//
+// The engine in core/engine.hpp drives players through the schedule from
+// a central loop (convenient for instrumentation and trimming). Here, by
+// contrast, every processor consults the PhaseScript — which it could
+// compute locally from (n, epsilon, budgets) — with nothing but its own
+// round counter, and the driver below is protocol-agnostic: it only moves
+// messages, exactly like a synchronous network. No trimming, no global
+// state inspection, no early exit: the complete fixed schedule executes
+// round by round.
+//
+// Tests verify that this mode produces byte-identical matchings and
+// message counts to the orchestrated engine, which justifies using the
+// (much faster) engine everywhere else.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/phase_script.hpp"
+#include "core/result.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm::core {
+
+struct SelfTimedResult {
+  Matching matching{0};
+  NetStats net;
+  Schedule schedule;
+  std::vector<bool> good_men;
+  std::int64_t good_count = 0;
+  std::int64_t bad_count = 0;
+};
+
+/// Runs the complete fixed schedule. Requires a fixed MM budget
+/// (params.mm_iteration_budget > 0) — run-to-quiescence segments cannot
+/// appear in a self-timed schedule. The full paper schedule is enormous;
+/// intended for small overridden schedules (tests, demonstrations).
+SelfTimedResult run_selftimed_asm(const Instance& inst,
+                                  const AsmParams& params);
+
+}  // namespace dasm::core

@@ -1,0 +1,72 @@
+// Instance families used by the tests, examples and experiments.
+//
+// Every generator is deterministic in its seed. Families are chosen to
+// cover the preference regimes the paper distinguishes: complete
+// (1-almost-regular), bounded (the setting of Floréen et al. [3]),
+// incomplete/irregular (where only ASM's general bounds apply),
+// alpha-almost-regular (§5.2) and an adversarial family on which
+// distributed Gale–Shapley needs Theta(n) sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "stable/instance.hpp"
+
+namespace dasm::gen {
+
+/// Complete preferences, both sides ranked uniformly at random.
+Instance complete_uniform(NodeId n, std::uint64_t seed);
+
+/// Each man-woman pair is mutually acceptable with probability p
+/// (Erdős–Rényi communication graph); rankings uniform. Players may end
+/// up with empty lists.
+Instance incomplete_uniform(NodeId n_men, NodeId n_women, double p,
+                            std::uint64_t seed);
+
+/// Exactly d-regular bipartite communication graph (d <= n), built from d
+/// cyclic shifts of a random permutation; rankings uniform. This is the
+/// bounded-preferences setting of [3] and is 1-almost-regular.
+Instance regular_bipartite(NodeId n, NodeId d, std::uint64_t seed);
+
+/// Bounded-degree family: every man's degree is at most d (union of d
+/// random matchings with duplicates removed); rankings uniform.
+Instance bounded_degree(NodeId n, NodeId d, std::uint64_t seed);
+
+/// Man degrees drawn uniformly from [d_min, d_max]: the regularity ratio
+/// alpha approaches d_max / d_min (§5.2). Rankings uniform.
+Instance almost_regular(NodeId n, NodeId d_min, NodeId d_max,
+                        std::uint64_t seed);
+
+/// Complete preferences correlated through a common "master list": each
+/// player's ranking is the master order of the opposite side perturbed by
+/// `swaps` random adjacent transpositions.
+Instance master_list(NodeId n, NodeId swaps, std::uint64_t seed);
+
+/// Adversarial displacement chain: one extra proposer triggers a cascade
+/// in which every sweep displaces exactly one man, so distributed GS needs
+/// Theta(n) sweeps while list lengths stay <= 2. Deterministic.
+Instance gs_displacement_chain(NodeId n);
+
+/// Complete preferences with Zipf-skewed popularity: a few players are
+/// near-universally desired. Every man samples his ranking by Zipf
+/// weights w_j ~ 1/(j+1)^s over a hidden popularity order of the women
+/// (weighted sampling without replacement), and vice versa; s = 0 is
+/// uniform, larger s concentrates contention on the popular few — the
+/// regime where proposal algorithms collide hardest.
+Instance zipf_popularity(NodeId n, double s, std::uint64_t seed);
+
+/// Geometric k-nearest-neighbour market: both sides are uniform points in
+/// the unit square; every man ranks his k nearest women by distance, and
+/// women rank the men who selected them by an independent per-man score
+/// (a "rating"). Exactly k-regular on the proposing side (alpha = 1), the
+/// AlmostRegularASM regime. Models dispatch/assignment markets.
+Instance geometric_knn(NodeId n, NodeId k, std::uint64_t seed);
+
+/// Small-world acquaintance market: man i knows the women in a circular
+/// window around position i plus `long_ties` uniformly random others;
+/// both sides rank acquaintances by circular distance perturbed by taste
+/// noise. Models the paper's social-network motivation (§1.1).
+Instance windowed_acquaintance(NodeId n, NodeId window, NodeId long_ties,
+                               std::uint64_t seed);
+
+}  // namespace dasm::gen

@@ -1,0 +1,49 @@
+#include "graph/bipartite_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+BipartiteGraph::BipartiteGraph(
+    NodeId n_men, NodeId n_women,
+    const std::vector<std::vector<NodeId>>& men_to_women)
+    : n_men_(n_men), n_women_(n_women), graph_(0) {
+  DASM_CHECK(n_men >= 0 && n_women >= 0);
+  DASM_CHECK(static_cast<NodeId>(men_to_women.size()) == n_men);
+  std::vector<Edge> edges;
+  for (NodeId m = 0; m < n_men; ++m) {
+    for (NodeId w : men_to_women[static_cast<std::size_t>(m)]) {
+      DASM_CHECK_MSG(w >= 0 && w < n_women, "woman index out of range: " << w);
+      edges.push_back(Edge{m, static_cast<NodeId>(n_men + w)});
+    }
+  }
+  graph_ = Graph(n_men + n_women, edges);
+}
+
+NodeId BipartiteGraph::man_id(NodeId man_index) const {
+  DASM_CHECK(man_index >= 0 && man_index < n_men_);
+  return man_index;
+}
+
+NodeId BipartiteGraph::woman_id(NodeId woman_index) const {
+  DASM_CHECK(woman_index >= 0 && woman_index < n_women_);
+  return n_men_ + woman_index;
+}
+
+bool BipartiteGraph::is_man(NodeId id) const { return id >= 0 && id < n_men_; }
+
+bool BipartiteGraph::is_woman(NodeId id) const {
+  return id >= n_men_ && id < n_men_ + n_women_;
+}
+
+NodeId BipartiteGraph::man_index(NodeId id) const {
+  DASM_CHECK(is_man(id));
+  return id;
+}
+
+NodeId BipartiteGraph::woman_index(NodeId id) const {
+  DASM_CHECK(is_woman(id));
+  return id - n_men_;
+}
+
+}  // namespace dasm

@@ -1,0 +1,92 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+Matching::Matching(NodeId n) {
+  DASM_CHECK(n >= 0);
+  partner_.assign(static_cast<std::size_t>(n), kNoNode);
+}
+
+void Matching::add(NodeId u, NodeId v) {
+  DASM_CHECK(u >= 0 && u < node_count() && v >= 0 && v < node_count());
+  DASM_CHECK(u != v);
+  DASM_CHECK_MSG(partner_[static_cast<std::size_t>(u)] == kNoNode,
+                 "node " << u << " is already matched");
+  DASM_CHECK_MSG(partner_[static_cast<std::size_t>(v)] == kNoNode,
+                 "node " << v << " is already matched");
+  partner_[static_cast<std::size_t>(u)] = v;
+  partner_[static_cast<std::size_t>(v)] = u;
+  ++size_;
+}
+
+void Matching::remove(NodeId u) {
+  DASM_CHECK(u >= 0 && u < node_count());
+  const NodeId v = partner_[static_cast<std::size_t>(u)];
+  DASM_CHECK_MSG(v != kNoNode, "node " << u << " is not matched");
+  partner_[static_cast<std::size_t>(u)] = kNoNode;
+  partner_[static_cast<std::size_t>(v)] = kNoNode;
+  --size_;
+}
+
+bool Matching::is_matched(NodeId v) const {
+  DASM_CHECK(v >= 0 && v < node_count());
+  return partner_[static_cast<std::size_t>(v)] != kNoNode;
+}
+
+NodeId Matching::partner_of(NodeId v) const {
+  DASM_CHECK(v >= 0 && v < node_count());
+  return partner_[static_cast<std::size_t>(v)];
+}
+
+std::vector<Edge> Matching::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (NodeId u = 0; u < node_count(); ++u) {
+    const NodeId v = partner_[static_cast<std::size_t>(u)];
+    if (v != kNoNode && u < v) out.push_back(Edge{u, v});
+  }
+  return out;
+}
+
+bool Matching::is_valid(const Graph& g) const {
+  if (node_count() != g.node_count()) return false;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    const NodeId v = partner_[static_cast<std::size_t>(u)];
+    if (v == kNoNode) continue;
+    if (v < 0 || v >= node_count()) return false;
+    if (partner_[static_cast<std::size_t>(v)] != u) return false;
+    if (!g.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Matching::unsatisfied_vertices(const Graph& g) const {
+  DASM_CHECK(node_count() == g.node_count());
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (is_matched(v)) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (!is_matched(u)) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool Matching::is_maximal(const Graph& g) const {
+  return unsatisfied_vertices(g).empty();
+}
+
+bool Matching::is_almost_maximal(const Graph& g, double eta) const {
+  const auto bad = unsatisfied_vertices(g).size();
+  return static_cast<double>(bad) <=
+         eta * static_cast<double>(g.node_count());
+}
+
+}  // namespace dasm

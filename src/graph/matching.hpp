@@ -1,0 +1,54 @@
+// Matchings and their quality predicates (Definitions 3 and 4).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dasm {
+
+/// A matching over the node-id space of a Graph, stored as a partner map.
+/// Invariant: partner_of(u) == v  <=>  partner_of(v) == u.
+class Matching {
+ public:
+  explicit Matching(NodeId n = 0);
+
+  NodeId node_count() const { return static_cast<NodeId>(partner_.size()); }
+
+  /// Adds edge (u, v); both endpoints must currently be unmatched.
+  void add(NodeId u, NodeId v);
+
+  /// Removes the matched edge incident to u (u must be matched).
+  void remove(NodeId u);
+
+  bool is_matched(NodeId v) const;
+  /// Matched partner of v, or kNoNode.
+  NodeId partner_of(NodeId v) const;
+
+  /// Number of matched edges.
+  std::int64_t size() const { return size_; }
+
+  /// Matched edges, normalized and sorted.
+  std::vector<Edge> edges() const;
+
+  /// True if every matched edge exists in g.
+  bool is_valid(const Graph& g) const;
+
+  /// Vertices violating maximality (Definition 3): unmatched vertices with
+  /// at least one unmatched neighbour.
+  std::vector<NodeId> unsatisfied_vertices(const Graph& g) const;
+
+  /// True iff no edge of g has both endpoints unmatched (Definition 3).
+  bool is_maximal(const Graph& g) const;
+
+  /// True iff at most eta * |V| vertices are unsatisfied (Definition 4).
+  bool is_almost_maximal(const Graph& g, double eta) const;
+
+  friend bool operator==(const Matching&, const Matching&) = default;
+
+ private:
+  std::vector<NodeId> partner_;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace dasm

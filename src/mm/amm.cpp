@@ -1,0 +1,44 @@
+#include "mm/amm.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasm::mm {
+
+namespace {
+
+int iterations_for(double survival_target, double decay) {
+  DASM_CHECK(survival_target > 0.0);
+  DASM_CHECK(decay > 0.0 && decay < 1.0);
+  const double s = std::log(survival_target) / std::log(decay);
+  return std::max(1, static_cast<int>(std::ceil(s)));
+}
+
+}  // namespace
+
+int amm_iterations(double eta, double delta, double decay) {
+  DASM_CHECK(eta > 0.0 && eta <= 1.0);
+  DASM_CHECK(delta > 0.0 && delta <= 1.0);
+  // Markov (Corollary 2): Pr(|V_s| >= eta n) <= c^s / eta <= delta.
+  return iterations_for(eta * delta, decay);
+}
+
+int maximality_iterations(NodeId n, double eta, double decay) {
+  DASM_CHECK(n >= 1);
+  DASM_CHECK(eta > 0.0 && eta <= 1.0);
+  // Corollary 1: Pr(|V_s| >= 1) <= c^s n <= eta.
+  return iterations_for(eta / static_cast<double>(n), decay);
+}
+
+RunResult run_amm(const Graph& g, double eta, double delta, std::uint64_t seed,
+                  double decay) {
+  RunConfig config;
+  config.backend = Backend::kIsraeliItai;
+  config.seed = seed;
+  config.max_iterations = amm_iterations(eta, delta, decay);
+  config.stop_on_quiescence = true;
+  return run_maximal_matching(g, {}, config);
+}
+
+}  // namespace dasm::mm

@@ -1,0 +1,31 @@
+// AMM(eta, delta): almost-maximal matching (Appendix A, Corollary 2).
+//
+// Iterating Israeli–Itai's MatchingRound s = O(log(1/(eta*delta))) times
+// leaves at most an eta-fraction of vertices unsatisfied with probability
+// at least 1 - delta. AlmostRegularASM (§5.2) uses this in place of a full
+// maximal matching to reach O(1) total rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "mm/runner.hpp"
+
+namespace dasm::mm {
+
+/// Iteration budget from Corollary 2: the smallest s with decay^s / eta
+/// <= delta, where `decay` is the per-iteration survival factor c of
+/// Lemma 8 (the paper leaves c unspecified; bench E5 measures it — the
+/// default is a conservative upper bound).
+int amm_iterations(double eta, double delta, double decay = 0.75);
+
+/// Corollary 1: iterations for full maximality with probability >= 1-eta,
+/// s = O(log(n/eta)).
+int maximality_iterations(NodeId n, double eta, double decay = 0.75);
+
+/// Runs AMM(g, eta, delta) with the given seed. The result's matching is
+/// (1 - eta)-maximal with probability at least 1 - delta; the caller can
+/// verify with Matching::is_almost_maximal.
+RunResult run_amm(const Graph& g, double eta, double delta,
+                  std::uint64_t seed, double decay = 0.75);
+
+}  // namespace dasm::mm

@@ -1,0 +1,228 @@
+#include "mm/color_class_node.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "mm/color_matching.hpp"
+#include "util/check.hpp"
+
+namespace dasm::mm {
+
+namespace {
+
+std::int64_t cv_update(std::int64_t own, std::int64_t parent_color) {
+  DASM_DCHECK(own != parent_color);
+  const int i =
+      std::countr_zero(static_cast<std::uint64_t>(own ^ parent_color));
+  return 2 * static_cast<std::int64_t>(i) + ((own >> i) & 1);
+}
+
+}  // namespace
+
+int color_class_rounds_per_iteration(NodeId n_bound) {
+  return 1 + (cole_vishkin_iterations(n_bound) + 1) + 3 * 6 * 3;
+}
+
+ColorClassNode::ColorClassNode(NodeId delta_bound, NodeId n_bound)
+    : delta_(delta_bound),
+      cv_iters_(cole_vishkin_iterations(n_bound)),
+      per_class_(color_class_rounds_per_iteration(n_bound)) {
+  DASM_CHECK(delta_bound >= 1);
+}
+
+void ColorClassNode::reset(NodeId self, bool /*is_left*/,
+                           std::vector<NodeId> neighbors) {
+  DASM_CHECK_MSG(static_cast<NodeId>(neighbors.size()) <= delta_,
+                 "node " << self << " has degree " << neighbors.size()
+                         << " above the declared bound " << delta_);
+  self_ = self;
+  neighbors_ = std::move(neighbors);
+  neighbor_alive_.assign(neighbors_.size(), true);
+  peer_port_.assign(neighbors_.size(), kNoNode);
+  alive_ = !neighbors_.empty();
+  partner_ = kNoNode;
+  round_ = 0;
+  class_nbrs_.clear();
+  parent_ = kNoNode;
+}
+
+void ColorClassNode::mark_dead(NodeId v) {
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (neighbors_[i] == v) neighbor_alive_[i] = false;
+  }
+}
+
+bool ColorClassNode::neighbor_live(NodeId v) const {
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (neighbors_[i] == v) return neighbor_alive_[i];
+  }
+  return false;
+}
+
+bool ColorClassNode::any_live_neighbor() const {
+  return std::find(neighbor_alive_.begin(), neighbor_alive_.end(), true) !=
+         neighbor_alive_.end();
+}
+
+void ColorClassNode::process_withdrawals(const std::vector<Envelope>& inbox) {
+  for (const Envelope& e : inbox) {
+    if (e.msg.type == MsgType::kMmMatched) mark_dead(e.from);
+  }
+}
+
+void ColorClassNode::withdraw(Network& net) {
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (neighbor_alive_[i] && neighbors_[i] != partner_) {
+      net.send(self_, neighbors_[i], Message{MsgType::kMmMatched});
+    }
+  }
+}
+
+void ColorClassNode::on_round(const std::vector<Envelope>& inbox,
+                              Network& net) {
+  process_withdrawals(inbox);
+  const std::int64_t r = round_++;
+
+  if (r == 0) {
+    if (alive_) {
+      for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+        net.send(self_, neighbors_[i],
+                 Message{MsgType::kPort, static_cast<std::int64_t>(i)});
+      }
+    }
+    return;
+  }
+  if (r == 1) {
+    for (const Envelope& e : inbox) {
+      if (e.msg.type != MsgType::kPort) continue;
+      for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+        if (neighbors_[i] == e.from) {
+          peer_port_[i] = static_cast<NodeId>(e.msg.a);
+        }
+      }
+    }
+  }
+
+  const std::int64_t rel = r - 1;
+  const std::int64_t cls = rel / per_class_;
+  if (cls >= static_cast<std::int64_t>(delta_) * delta_) {
+    alive_ = false;  // schedule exhausted: the matching is maximal
+    return;
+  }
+  if (!alive_) return;
+  if (!any_live_neighbor()) {
+    alive_ = false;  // isolated: every acceptable partner is matched
+    return;
+  }
+
+  const auto a = static_cast<NodeId>(cls / delta_);
+  const auto b = static_cast<NodeId>(cls % delta_);
+  const std::int64_t within = rel % per_class_;
+
+  if (within == 0) {
+    // Membership: my class edge as lower endpoint has my port a and peer
+    // port b; as higher endpoint my port b and peer port a.
+    class_nbrs_.clear();
+    if (static_cast<std::size_t>(a) < neighbors_.size() &&
+        neighbor_alive_[static_cast<std::size_t>(a)] &&
+        neighbors_[static_cast<std::size_t>(a)] > self_ &&
+        peer_port_[static_cast<std::size_t>(a)] == b) {
+      class_nbrs_.push_back(neighbors_[static_cast<std::size_t>(a)]);
+    }
+    if (static_cast<std::size_t>(b) < neighbors_.size() &&
+        neighbor_alive_[static_cast<std::size_t>(b)] &&
+        neighbors_[static_cast<std::size_t>(b)] < self_ &&
+        peer_port_[static_cast<std::size_t>(b)] == a) {
+      class_nbrs_.push_back(neighbors_[static_cast<std::size_t>(b)]);
+    }
+    if (in_class()) {
+      parent_ = *std::max_element(class_nbrs_.begin(), class_nbrs_.end());
+      rooted_ = false;
+      color_ = self_;
+      for (NodeId w : class_nbrs_) {
+        net.send(self_, w, Message{MsgType::kParent, parent_});
+      }
+    }
+    return;
+  }
+  if (within == 1) {
+    // Root detection, then announce the initial color.
+    if (!in_class()) return;
+    for (const Envelope& e : inbox) {
+      if (e.msg.type == MsgType::kParent && e.from == parent_ &&
+          static_cast<NodeId>(e.msg.a) == self_ && self_ > e.from) {
+        rooted_ = true;
+      }
+    }
+    for (NodeId w : class_nbrs_) {
+      if (neighbor_live(w)) {
+        net.send(self_, w, Message{MsgType::kColor, color_});
+      }
+    }
+    return;
+  }
+  if (within <= 1 + cv_iters_) {
+    // Cole–Vishkin update against the parent's last announced color.
+    if (!in_class()) return;
+    std::int64_t parent_color = -1;
+    if (rooted_) {
+      parent_color = color_ ^ 1;
+    } else {
+      for (const Envelope& e : inbox) {
+        if (e.msg.type == MsgType::kColor && e.from == parent_) {
+          parent_color = e.msg.a;
+        }
+      }
+      DASM_CHECK_MSG(parent_color >= 0,
+                     "node " << self_ << " missed its parent's color");
+    }
+    color_ = cv_update(color_, parent_color);
+    for (NodeId w : class_nbrs_) {
+      if (neighbor_live(w)) {
+        net.send(self_, w, Message{MsgType::kColor, color_});
+      }
+    }
+    return;
+  }
+
+  // Matching sweeps: 3 sweeps x 6 color phases x (propose, accept,
+  // resolve).
+  const std::int64_t idx = within - (2 + cv_iters_);
+  const std::int64_t phase = idx % 3;
+  const std::int64_t color_phase = (idx / 3) % 6;
+  if (phase == 0) {
+    if (!in_class() || color_ != color_phase) return;
+    NodeId target = kNoNode;
+    for (NodeId w : class_nbrs_) {
+      if (neighbor_live(w) && (target == kNoNode || w < target)) target = w;
+    }
+    if (target != kNoNode) {
+      net.send(self_, target, Message{MsgType::kMmPropose});
+    }
+  } else if (phase == 1) {
+    NodeId best = kNoNode;
+    for (const Envelope& e : inbox) {
+      if (e.msg.type == MsgType::kMmPropose &&
+          (best == kNoNode || e.from < best)) {
+        best = e.from;
+      }
+    }
+    if (best != kNoNode) {
+      partner_ = best;
+      alive_ = false;
+      net.send(self_, best, Message{MsgType::kMmAcceptP});
+      withdraw(net);
+    }
+  } else {
+    for (const Envelope& e : inbox) {
+      if (e.msg.type == MsgType::kMmAcceptP) {
+        partner_ = e.from;
+        alive_ = false;
+        withdraw(net);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dasm::mm

@@ -1,0 +1,70 @@
+// The color-class deterministic maximal matching (see color_matching.hpp)
+// as a lockstep mm::Node, so it can back ProposalRound Step 3 inside ASM.
+//
+// Every node derives its phase purely from its own round counter and two
+// globally known bounds: delta_bound (an upper bound on the degree of the
+// subgraph the protocol runs on — inside ASM, quantization bounds G0's
+// degree by max_v ceil(deg(v)/k)) and n_bound (for the Cole–Vishkin
+// iteration count). The fixed schedule is
+//
+//   1 port round + delta_bound^2 classes x (1 parent + (cv+1) CV + 54
+//   sweep rounds),
+//
+// deterministic and independent of the execution — the property a
+// self-timed CONGEST protocol needs. For bounded-degree preferences this
+// gives a deterministic ASM whose Step-3 subroutine has a worst-case
+// round bound with no HKP black box at all (DESIGN.md §2).
+#pragma once
+
+#include <memory>
+
+#include "mm/node.hpp"
+
+namespace dasm::mm {
+
+class ColorClassNode final : public Node {
+ public:
+  /// `delta_bound` >= the max degree of any subgraph this node will be
+  /// reset on; `n_bound` >= the number of processors (for Cole–Vishkin).
+  ColorClassNode(NodeId delta_bound, NodeId n_bound);
+
+  void reset(NodeId self, bool is_left, std::vector<NodeId> neighbors) override;
+  void on_round(const std::vector<Envelope>& inbox, Network& net) override;
+  NodeId partner() const override { return partner_; }
+  bool quiescent() const override { return !alive_; }
+  /// One "iteration" is one class pass.
+  int rounds_per_iteration() const override { return per_class_; }
+
+ private:
+  bool in_class() const { return !class_nbrs_.empty(); }
+  void process_withdrawals(const std::vector<Envelope>& inbox);
+  void mark_dead(NodeId v);
+  bool neighbor_live(NodeId v) const;
+  bool any_live_neighbor() const;
+  void withdraw(Network& net);
+
+  NodeId delta_;
+  int cv_iters_;
+  int per_class_;
+
+  NodeId self_ = kNoNode;
+  bool alive_ = false;
+  NodeId partner_ = kNoNode;
+  std::int64_t round_ = 0;
+
+  std::vector<NodeId> neighbors_;       // position = my port number
+  std::vector<bool> neighbor_alive_;
+  std::vector<NodeId> peer_port_;       // my port on the peer's side
+
+  // Per-class scratch.
+  std::vector<NodeId> class_nbrs_;
+  NodeId parent_ = kNoNode;
+  bool rooted_ = false;
+  std::int64_t color_ = 0;
+};
+
+/// Fixed per-class round count for the given n (the value
+/// ColorClassNode::rounds_per_iteration reports).
+int color_class_rounds_per_iteration(NodeId n_bound);
+
+}  // namespace dasm::mm

@@ -1,0 +1,48 @@
+// Deterministic distributed maximal matching via edge classes and
+// Cole–Vishkin coloring (in the style of Panconesi–Rizzi).
+//
+// A second deterministic protocol for the HKP slot, with a round bound
+// that depends on the degree bound rather than on n:
+//
+//   1. Every vertex numbers its incident edges with ports 0..deg-1 and
+//      exchanges port numbers, so both endpoints of an edge {u, v}
+//      (u < v) know its CLASS (port_u, port_v). Each class induces a
+//      subgraph of maximum degree 2 (disjoint paths and cycles): a vertex
+//      has at most one class edge as the lower endpoint (ports are
+//      distinct) and at most one as the higher endpoint.
+//   2. For each of the <= Delta^2 classes in a globally known order:
+//      a. each vertex picks its highest-id live class-neighbour as its
+//         parent, giving a pseudoforest (mutual pairs are rooted at the
+//         higher id);
+//      b. Cole–Vishkin color reduction runs on the pseudoforest until
+//         every vertex has a color < 6 — O(log* n) rounds;
+//      c. three sweeps over the 6 color phases compute a maximal matching
+//         of the class subgraph: in phase c, unmatched color-c vertices
+//         propose to their smallest-id unmatched class-neighbour,
+//         receivers accept their smallest-id proposer, and matched
+//         vertices withdraw from the whole graph. (Degree <= 2 means a
+//         vertex can lose a neighbour to another match at most twice, so
+//         three sweeps guarantee class maximality.)
+//
+// Total: O(Delta^2 (log* n + 1)) communication rounds, deterministic —
+// constant in n for the bounded-preference regime of Floréen et al. [3].
+// Every edge lies in some class, and each class pass leaves no class edge
+// with two unmatched endpoints, so the union is maximal.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "mm/runner.hpp"
+
+namespace dasm::mm {
+
+/// Runs the protocol on g. Works on any graph (not only bipartite).
+/// `trim_empty_classes` skips class passes that provably exchange no
+/// messages, charging them to scheduled_rounds (the fixed schedule a real
+/// deployment would execute).
+RunResult run_color_matching(const Graph& g, bool trim_empty_classes = true);
+
+/// The Cole–Vishkin iteration count needed to take ids in [0, n) down to
+/// colors < 6 (a deterministic a-priori bound, ~log* n + O(1)).
+int cole_vishkin_iterations(NodeId n);
+
+}  // namespace dasm::mm

@@ -1,0 +1,27 @@
+#include "mm/greedy.hpp"
+
+namespace dasm::mm {
+
+namespace {
+
+Matching greedy_over(const Graph& g, const std::vector<Edge>& order) {
+  Matching m(g.node_count());
+  for (const Edge& e : order) {
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(e.u, e.v);
+  }
+  return m;
+}
+
+}  // namespace
+
+Matching greedy_maximal_matching(const Graph& g) {
+  return greedy_over(g, g.edges());
+}
+
+Matching greedy_maximal_matching(const Graph& g, Xoshiro256& rng) {
+  auto order = g.edges();
+  rng.shuffle(order);
+  return greedy_over(g, order);
+}
+
+}  // namespace dasm::mm

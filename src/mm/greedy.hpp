@@ -1,0 +1,18 @@
+// Centralized greedy maximal matching — the sequential oracle the tests
+// use to cross-check the distributed protocols.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "util/prng.hpp"
+
+namespace dasm::mm {
+
+/// Maximal matching by scanning edges in normalized sorted order.
+Matching greedy_maximal_matching(const Graph& g);
+
+/// Maximal matching by scanning edges in a random order (useful for
+/// sampling the space of maximal matchings in tests).
+Matching greedy_maximal_matching(const Graph& g, Xoshiro256& rng);
+
+}  // namespace dasm::mm

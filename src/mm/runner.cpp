@@ -1,0 +1,108 @@
+#include "mm/runner.hpp"
+
+#include "mm/israeli_itai.hpp"
+#include "mm/pointer_greedy.hpp"
+#include "mm/random_priority.hpp"
+#include "util/check.hpp"
+
+namespace dasm::mm {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kPointerGreedy:
+      return "pointer-greedy(det)";
+    case Backend::kIsraeliItai:
+      return "israeli-itai(rand)";
+    case Backend::kRandomPriority:
+      return "random-priority(rand)";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Node> make_node(Backend backend, std::uint64_t seed,
+                                NodeId node_id) {
+  switch (backend) {
+    case Backend::kPointerGreedy:
+      return std::make_unique<PointerGreedyNode>();
+    case Backend::kIsraeliItai:
+      return std::make_unique<IsraeliItaiNode>(
+          derive_stream(seed, static_cast<std::uint64_t>(node_id)));
+    case Backend::kRandomPriority:
+      return std::make_unique<RandomPriorityNode>(
+          derive_stream(seed ^ 0x5b1ce, static_cast<std::uint64_t>(node_id)));
+  }
+  DASM_CHECK_MSG(false, "unknown backend");
+  return nullptr;
+}
+
+RunResult run_maximal_matching(const Graph& g,
+                               const std::vector<bool>& is_left,
+                               const RunConfig& config) {
+  const NodeId n = g.node_count();
+  if (config.backend == Backend::kPointerGreedy) {
+    DASM_CHECK_MSG(static_cast<NodeId>(is_left.size()) == n,
+                   "pointer-greedy requires a bipartite orientation");
+    for (const Edge& e : g.edges()) {
+      DASM_CHECK_MSG(is_left[static_cast<std::size_t>(e.u)] !=
+                         is_left[static_cast<std::size_t>(e.v)],
+                     "edge (" << e.u << "," << e.v
+                              << ") does not cross the bipartition");
+    }
+  }
+
+  Network net(g.adjacency());
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    auto node = make_node(config.backend, config.seed, v);
+    const bool left =
+        !is_left.empty() && is_left[static_cast<std::size_t>(v)];
+    node->reset(v, left, g.neighbors(v));
+    nodes.push_back(std::move(node));
+  }
+
+  RunResult result;
+  const int rounds_per_iter =
+      n > 0 ? nodes[0]->rounds_per_iteration() : 1;
+
+  auto all_quiescent = [&]() {
+    for (const auto& node : nodes) {
+      if (!node->quiescent()) return false;
+    }
+    return true;
+  };
+
+  int iter = 0;
+  while (true) {
+    if (config.stop_on_quiescence && all_quiescent()) break;
+    if (config.max_iterations > 0 && iter >= config.max_iterations) break;
+    if (config.max_iterations == 0 && all_quiescent()) break;
+    for (int r = 0; r < rounds_per_iter; ++r) {
+      net.begin_round();
+      for (NodeId v = 0; v < n; ++v) {
+        nodes[static_cast<std::size_t>(v)]->on_round(net.inbox(v), net);
+      }
+      net.end_round();
+    }
+    ++iter;
+    std::int64_t live = 0;
+    for (const auto& node : nodes) live += node->quiescent() ? 0 : 1;
+    result.live_after_iteration.push_back(live);
+  }
+  result.iterations_executed = iter;
+  result.net = net.stats();
+  Matching m(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = nodes[static_cast<std::size_t>(v)]->partner();
+    if (p != kNoNode && v < p) {
+      DASM_CHECK_MSG(nodes[static_cast<std::size_t>(p)]->partner() == v,
+                     "inconsistent partners " << v << " and " << p);
+      m.add(v, p);
+    }
+  }
+  result.maximal = m.is_maximal(g);
+  result.matching = std::move(m);
+  return result;
+}
+
+}  // namespace dasm::mm

@@ -1,0 +1,49 @@
+// Standalone driver for the distributed maximal-matching protocols: builds
+// a CONGEST network over a graph, steps all protocol nodes in lockstep, and
+// extracts the matching plus the traffic/convergence statistics that the
+// Appendix-A experiments (E5, E6) report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "mm/node.hpp"
+
+namespace dasm::mm {
+
+struct RunConfig {
+  Backend backend = Backend::kIsraeliItai;
+  std::uint64_t seed = 1;  ///< randomized backends only
+  /// Maximum protocol iterations (MatchingRounds / sweeps); 0 means run
+  /// until global quiescence.
+  int max_iterations = 0;
+  /// Stop early once every node is quiescent (the matching is then
+  /// maximal). Disable to always consume the full iteration budget, as a
+  /// fixed-schedule CONGEST execution would.
+  bool stop_on_quiescence = true;
+};
+
+struct RunResult {
+  Matching matching{0};
+  NetStats net;
+  int iterations_executed = 0;
+  bool maximal = false;
+  /// Number of non-quiescent vertices after each iteration — the decay
+  /// series of Lemma 8.
+  std::vector<std::int64_t> live_after_iteration;
+};
+
+/// Runs the configured protocol on g. `is_left` gives the bipartite
+/// orientation (proposing side) and is required by kPointerGreedy; for
+/// kIsraeliItai it may be empty.
+RunResult run_maximal_matching(const Graph& g, const std::vector<bool>& is_left,
+                               const RunConfig& config);
+
+/// Creates a fresh protocol node for `backend`. Exposed so higher-level
+/// protocols (ProposalRound Step 3) can embed the same state machines.
+std::unique_ptr<Node> make_node(Backend backend, std::uint64_t seed,
+                                NodeId node_id);
+
+}  // namespace dasm::mm

@@ -1,0 +1,134 @@
+#include "stable/blocking.hpp"
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+namespace {
+
+// Partner of man m (woman index) under `matching`, or kNoNode.
+NodeId partner_of_man(const Instance& inst, const Matching& matching,
+                      NodeId m) {
+  const NodeId p = matching.partner_of(inst.graph().man_id(m));
+  return p == kNoNode ? kNoNode : inst.graph().woman_index(p);
+}
+
+NodeId partner_of_woman(const Instance& inst, const Matching& matching,
+                        NodeId w) {
+  const NodeId p = matching.partner_of(inst.graph().woman_id(w));
+  return p == kNoNode ? kNoNode : inst.graph().man_index(p);
+}
+
+// 1-based rank of `partner` with the unmatched convention P^v(none) = deg+1.
+std::int64_t rank1(const PreferenceList& pref, NodeId partner) {
+  if (partner == kNoNode) return static_cast<std::int64_t>(pref.degree()) + 1;
+  const NodeId r = pref.rank_of(partner);
+  DASM_CHECK(r != kNoNode);
+  return static_cast<std::int64_t>(r) + 1;
+}
+
+template <typename Predicate>
+std::vector<BlockingPair> collect_pairs(const Instance& inst,
+                                        const Matching& matching,
+                                        Predicate&& blocks) {
+  DASM_CHECK(matching.node_count() == inst.graph().node_count());
+  std::vector<BlockingPair> out;
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    const NodeId pm = partner_of_man(inst, matching, m);
+    for (NodeId w : inst.man_pref(m).ranked()) {
+      if (w == pm) continue;  // matched pairs never block
+      const NodeId pw = partner_of_woman(inst, matching, w);
+      if (blocks(m, pm, w, pw)) out.push_back(BlockingPair{m, w});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BlockingPair> blocking_pairs(const Instance& inst,
+                                         const Matching& matching) {
+  return collect_pairs(
+      inst, matching, [&](NodeId m, NodeId pm, NodeId w, NodeId pw) {
+        return inst.man_pref(m).prefers_over_partner(w, pm) &&
+               inst.woman_pref(w).prefers_over_partner(m, pw);
+      });
+}
+
+std::int64_t count_blocking_pairs(const Instance& inst,
+                                  const Matching& matching) {
+  return static_cast<std::int64_t>(blocking_pairs(inst, matching).size());
+}
+
+bool is_stable(const Instance& inst, const Matching& matching) {
+  return blocking_pairs(inst, matching).empty();
+}
+
+bool is_almost_stable(const Instance& inst, const Matching& matching,
+                      double eps) {
+  return static_cast<double>(count_blocking_pairs(inst, matching)) <=
+         eps * static_cast<double>(inst.edge_count());
+}
+
+std::vector<BlockingPair> eps_blocking_pairs(const Instance& inst,
+                                             const Matching& matching,
+                                             double eps) {
+  return collect_pairs(
+      inst, matching, [&](NodeId m, NodeId pm, NodeId w, NodeId pw) {
+        const auto& mp = inst.man_pref(m);
+        const auto& wp = inst.woman_pref(w);
+        const double man_gap =
+            static_cast<double>(rank1(mp, pm) - rank1(mp, w));
+        const double woman_gap =
+            static_cast<double>(rank1(wp, pw) - rank1(wp, m));
+        return man_gap >= eps * static_cast<double>(mp.degree()) &&
+               woman_gap >= eps * static_cast<double>(wp.degree());
+      });
+}
+
+std::int64_t count_eps_blocking_pairs(const Instance& inst,
+                                      const Matching& matching, double eps) {
+  return static_cast<std::int64_t>(
+      eps_blocking_pairs(inst, matching, eps).size());
+}
+
+std::int64_t count_eps_blocking_pairs_among(
+    const Instance& inst, const Matching& matching, double eps,
+    const std::vector<bool>& man_filter) {
+  DASM_CHECK(static_cast<NodeId>(man_filter.size()) == inst.n_men());
+  std::int64_t count = 0;
+  for (const BlockingPair& bp : eps_blocking_pairs(inst, matching, eps)) {
+    if (man_filter[static_cast<std::size_t>(bp.man)]) ++count;
+  }
+  return count;
+}
+
+std::int64_t count_blocking_pairs_among(const Instance& inst,
+                                        const Matching& matching,
+                                        const std::vector<bool>& man_filter) {
+  DASM_CHECK(static_cast<NodeId>(man_filter.size()) == inst.n_men());
+  std::int64_t count = 0;
+  for (const BlockingPair& bp : blocking_pairs(inst, matching)) {
+    if (man_filter[static_cast<std::size_t>(bp.man)]) ++count;
+  }
+  return count;
+}
+
+std::int64_t validate_matching(const Instance& inst,
+                               const Matching& matching) {
+  DASM_CHECK_MSG(matching.node_count() == inst.graph().node_count(),
+                 "matching node space does not match instance");
+  DASM_CHECK_MSG(matching.is_valid(inst.graph().graph()),
+                 "matching uses a non-edge or is inconsistent");
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    const NodeId w = partner_of_man(inst, matching, m);
+    if (w == kNoNode) continue;
+    DASM_CHECK_MSG(inst.man_pref(m).contains(w),
+                   "man " << m << " matched to unranked woman " << w);
+    DASM_CHECK_MSG(inst.woman_pref(w).contains(m),
+                   "woman " << w << " matched to unranked man " << m);
+  }
+  return matching.size();
+}
+
+}  // namespace dasm

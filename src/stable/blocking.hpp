@@ -1,0 +1,69 @@
+// Blocking-pair verification: Definition 1 ((1-eps)-stability) and
+// Definition 2 (eps-blocking pairs), plus helpers the experiments use to
+// audit the good/bad-men structure of §4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm {
+
+/// One blocking pair, by man index and woman index.
+struct BlockingPair {
+  NodeId man;
+  NodeId woman;
+
+  friend bool operator==(const BlockingPair&, const BlockingPair&) = default;
+  friend auto operator<=>(const BlockingPair&, const BlockingPair&) = default;
+};
+
+/// All blocking pairs of `matching` w.r.t. the instance (the matching is
+/// over the communication graph's node-id space). A pair (m, w) in E \ M
+/// blocks when m and w strictly prefer each other to their partners;
+/// unmatched players prefer any acceptable partner (§2.1).
+std::vector<BlockingPair> blocking_pairs(const Instance& inst,
+                                         const Matching& matching);
+
+std::int64_t count_blocking_pairs(const Instance& inst,
+                                  const Matching& matching);
+
+/// True iff the matching induces no blocking pairs.
+bool is_stable(const Instance& inst, const Matching& matching);
+
+/// Definition 1: blocking pairs <= eps * |E|.
+bool is_almost_stable(const Instance& inst, const Matching& matching,
+                      double eps);
+
+/// Definition 2: pairs (m, w) in E with
+///   P^m(p(m)) - P^m(w) >= eps * deg(m)  and
+///   P^w(p(w)) - P^w(m) >= eps * deg(w),
+/// using 1-based ranks and P^v(no partner) = deg(v) + 1.
+std::vector<BlockingPair> eps_blocking_pairs(const Instance& inst,
+                                             const Matching& matching,
+                                             double eps);
+
+std::int64_t count_eps_blocking_pairs(const Instance& inst,
+                                      const Matching& matching, double eps);
+
+/// eps-blocking pairs whose man is selected by `man_filter` (size n_men).
+/// Used to audit Lemma 3 (good men are in no (2/k)-blocking pairs) and
+/// Lemma 5 (bad men contribute few).
+std::int64_t count_eps_blocking_pairs_among(const Instance& inst,
+                                            const Matching& matching,
+                                            double eps,
+                                            const std::vector<bool>& man_filter);
+
+/// Blocking pairs whose man is selected by `man_filter`.
+std::int64_t count_blocking_pairs_among(const Instance& inst,
+                                        const Matching& matching,
+                                        const std::vector<bool>& man_filter);
+
+/// Validates that `matching` only pairs mutually acceptable players and is
+/// consistent; throws CheckError otherwise. Returns the number of matched
+/// pairs.
+std::int64_t validate_matching(const Instance& inst, const Matching& matching);
+
+}  // namespace dasm

@@ -1,0 +1,40 @@
+// Broadcast-and-solve baseline (footnote 1 of the paper): with complete
+// preferences, every player can broadcast their preference list to the
+// other side in O(n) communication rounds, relay the lists so that every
+// player knows the whole instance, and then run Gale–Shapley locally.
+//
+// This costs O(n) rounds and Theta(n^3) messages — and footnote 1 notes
+// that the synchronous run-time including local computation is still
+// Theta~(n^2). It exists here as the "exact but heavyweight" endpoint of
+// the comparison in experiment E9: ASM's entire point is to avoid both
+// the Theta(n) broadcast rounds and the quadratic local work.
+//
+// Round schedule on the complete bipartite graph (n = |X| = |Y|):
+//   phase A (rounds 0..n-1):  every player sends the rank-t entry of
+//                             their own list to every neighbour;
+//   phase B (rounds n..2n-1): woman j relays man j's rank-t entry to
+//                             every man, man i relays woman i's rank-t
+//                             entry to every woman.
+// After 2n rounds every processor has the complete instance and solves it
+// locally (all local solutions agree: GS is deterministic).
+#pragma once
+
+#include "congest/network.hpp"
+#include "graph/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm {
+
+struct BroadcastGsResult {
+  Matching matching{0};
+  NetStats net;
+  /// True when the instance reconstructed at the audited processors
+  /// matched the real instance entry for entry.
+  bool reconstruction_verified = false;
+};
+
+/// Requires a complete instance with n_men == n_women. Throws CheckError
+/// otherwise.
+BroadcastGsResult broadcast_gale_shapley(const Instance& inst);
+
+}  // namespace dasm

@@ -1,0 +1,142 @@
+#include "stable/capacitated.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+namespace {
+
+Instance build_expansion(const CapacitatedInstance& cap,
+                         const std::vector<NodeId>& seat_hospital,
+                         const std::vector<NodeId>& hospital_first) {
+  const auto n_residents = static_cast<NodeId>(cap.residents.size());
+  const auto n_seats = static_cast<NodeId>(seat_hospital.size());
+
+  std::vector<PreferenceList> men;
+  men.reserve(cap.residents.size());
+  for (NodeId r = 0; r < n_residents; ++r) {
+    std::vector<NodeId> ranked;
+    for (NodeId h : cap.residents[static_cast<std::size_t>(r)].ranked()) {
+      DASM_CHECK_MSG(h < static_cast<NodeId>(cap.hospitals.size()),
+                     "resident " << r << " ranks nonexistent hospital " << h);
+      DASM_CHECK_MSG(cap.hospitals[static_cast<std::size_t>(h)].contains(r),
+                     "asymmetric capacitated preferences between resident "
+                         << r << " and hospital " << h);
+      const NodeId first = hospital_first[static_cast<std::size_t>(h)];
+      for (NodeId c = 0; c < cap.capacities[static_cast<std::size_t>(h)];
+           ++c) {
+        ranked.push_back(first + c);
+      }
+    }
+    men.emplace_back(std::move(ranked));
+  }
+
+  std::vector<PreferenceList> women;
+  women.reserve(static_cast<std::size_t>(n_seats));
+  for (NodeId s = 0; s < n_seats; ++s) {
+    const NodeId h = seat_hospital[static_cast<std::size_t>(s)];
+    // Every seat of a hospital carries the hospital's list verbatim.
+    women.emplace_back(cap.hospitals[static_cast<std::size_t>(h)].ranked());
+  }
+  return Instance(std::move(men), std::move(women));
+}
+
+}  // namespace
+
+SeatExpansion::SeatExpansion(CapacitatedInstance capacitated)
+    : capacitated_(std::move(capacitated)),
+      n_seats_([&] {
+        DASM_CHECK_MSG(capacitated_.hospitals.size() ==
+                           capacitated_.capacities.size(),
+                       "capacities must parallel the hospital list");
+        NodeId seats = 0;
+        for (std::size_t h = 0; h < capacitated_.hospitals.size(); ++h) {
+          DASM_CHECK_MSG(capacitated_.capacities[h] >= 1,
+                         "hospital " << h << " has capacity "
+                                     << capacitated_.capacities[h]);
+          hospital_first_.push_back(seats);
+          for (NodeId c = 0; c < capacitated_.capacities[h]; ++c) {
+            seat_hospital_.push_back(static_cast<NodeId>(h));
+          }
+          seats += capacitated_.capacities[h];
+        }
+        return seats;
+      }()),
+      expanded_(build_expansion(capacitated_, seat_hospital_,
+                                hospital_first_)) {
+  for (std::size_t h = 0; h < capacitated_.hospitals.size(); ++h) {
+    for (NodeId r : capacitated_.hospitals[h].ranked()) {
+      DASM_CHECK_MSG(
+          r < static_cast<NodeId>(capacitated_.residents.size()) &&
+              capacitated_.residents[static_cast<std::size_t>(r)].contains(
+                  static_cast<NodeId>(h)),
+          "asymmetric capacitated preferences between hospital "
+              << h << " and resident " << r);
+    }
+  }
+}
+
+NodeId SeatExpansion::hospital_of_seat(NodeId seat) const {
+  DASM_CHECK(seat >= 0 && seat < n_seats_);
+  return seat_hospital_[static_cast<std::size_t>(seat)];
+}
+
+std::vector<NodeId> SeatExpansion::fold(const Matching& matching) const {
+  DASM_CHECK(matching.node_count() == expanded_.graph().node_count());
+  std::vector<NodeId> assignment(static_cast<std::size_t>(n_residents()),
+                                 kNoNode);
+  std::vector<NodeId> load(static_cast<std::size_t>(n_hospitals()), 0);
+  for (NodeId r = 0; r < n_residents(); ++r) {
+    const NodeId p = matching.partner_of(expanded_.graph().man_id(r));
+    if (p == kNoNode) continue;
+    const NodeId seat = expanded_.graph().woman_index(p);
+    const NodeId h = hospital_of_seat(seat);
+    assignment[static_cast<std::size_t>(r)] = h;
+    ++load[static_cast<std::size_t>(h)];
+  }
+  for (NodeId h = 0; h < n_hospitals(); ++h) {
+    DASM_CHECK_MSG(load[static_cast<std::size_t>(h)] <=
+                       capacitated_.capacities[static_cast<std::size_t>(h)],
+                   "hospital " << h << " over capacity");
+  }
+  return assignment;
+}
+
+std::int64_t SeatExpansion::count_blocking_pairs(
+    const std::vector<NodeId>& assignment) const {
+  DASM_CHECK(static_cast<NodeId>(assignment.size()) == n_residents());
+  // Per hospital: assigned residents and the worst (highest-rank) one.
+  std::vector<std::vector<NodeId>> assigned(
+      static_cast<std::size_t>(n_hospitals()));
+  for (NodeId r = 0; r < n_residents(); ++r) {
+    const NodeId h = assignment[static_cast<std::size_t>(r)];
+    if (h != kNoNode) assigned[static_cast<std::size_t>(h)].push_back(r);
+  }
+  std::int64_t blocking = 0;
+  for (NodeId r = 0; r < n_residents(); ++r) {
+    const auto& rp = capacitated_.residents[static_cast<std::size_t>(r)];
+    const NodeId my_h = assignment[static_cast<std::size_t>(r)];
+    for (NodeId h : rp.ranked()) {
+      if (h == my_h) continue;
+      if (my_h != kNoNode && !rp.prefers(h, my_h)) continue;
+      const auto& hp = capacitated_.hospitals[static_cast<std::size_t>(h)];
+      const auto& occupants = assigned[static_cast<std::size_t>(h)];
+      bool hospital_wants = static_cast<NodeId>(occupants.size()) <
+                            capacitated_.capacities[static_cast<std::size_t>(h)];
+      if (!hospital_wants) {
+        for (NodeId other : occupants) {
+          if (hp.prefers(r, other)) {
+            hospital_wants = true;
+            break;
+          }
+        }
+      }
+      if (hospital_wants) ++blocking;
+    }
+  }
+  return blocking;
+}
+
+}  // namespace dasm

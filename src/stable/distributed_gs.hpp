@@ -1,0 +1,36 @@
+// Distributed Gale–Shapley in the CONGEST model (§1.1).
+//
+// The natural distributed interpretation of [4]: in each two-round sweep,
+// every free man proposes to the best woman who has not yet rejected him,
+// and every woman holds her best proposal so far, rejecting the rest.
+// Non-receipt of a rejection within the sweep means the proposal is held —
+// detectable because rounds are synchronous.
+//
+// The output is exactly the man-optimal stable matching. The round
+// complexity is the baseline ASM improves on: Theta~(n^2) in the worst
+// case (bench E9 exhibits a displacement-chain family), and the paper's
+// footnote 1 notes no sub-quadratic distributed algorithm was known for
+// exact stability.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm {
+
+struct DistributedGsResult {
+  Matching matching{0};
+  NetStats net;
+  std::int64_t sweeps = 0;  ///< two communication rounds each
+  bool converged = false;   ///< false if stopped by the sweep budget
+};
+
+/// Runs distributed GS until quiescence, or for at most `max_sweeps`
+/// sweeps when max_sweeps > 0 (the truncation of Floréen et al. [3]).
+DistributedGsResult distributed_gale_shapley(const Instance& inst,
+                                             std::int64_t max_sweeps = 0);
+
+}  // namespace dasm

@@ -1,0 +1,60 @@
+#include "stable/enumerate.hpp"
+
+#include "stable/blocking.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+
+namespace {
+
+void extend(const Instance& inst, const std::vector<Edge>& edges,
+            std::size_t next, Matching& current,
+            std::vector<Matching>& out) {
+  out.push_back(current);
+  for (std::size_t i = next; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (current.is_matched(e.u) || current.is_matched(e.v)) continue;
+    current.add(e.u, e.v);
+    extend(inst, edges, i + 1, current, out);
+    current.remove(e.u);
+  }
+}
+
+}  // namespace
+
+std::vector<Matching> enumerate_matchings(const Instance& inst) {
+  DASM_CHECK_MSG(inst.n_men() + inst.n_women() <= 16,
+                 "enumeration is exponential; instance too large");
+  const auto edges = inst.graph().graph().edges();
+  std::vector<Matching> out;
+  Matching current(inst.graph().node_count());
+  // Enumerating extensions from each ordered position visits every
+  // matching exactly once (edges are added in increasing index order).
+  extend(inst, edges, 0, current, out);
+  return out;
+}
+
+std::vector<Matching> enumerate_stable_matchings(const Instance& inst) {
+  std::vector<Matching> stable;
+  for (const Matching& m : enumerate_matchings(inst)) {
+    if (is_stable(inst, m)) stable.push_back(m);
+  }
+  return stable;
+}
+
+bool men_weakly_prefer(const Instance& inst, const Matching& a,
+                       const Matching& b) {
+  const auto& bg = inst.graph();
+  for (NodeId man = 0; man < inst.n_men(); ++man) {
+    const NodeId pa = a.partner_of(bg.man_id(man));
+    const NodeId pb = b.partner_of(bg.man_id(man));
+    if (pb == kNoNode) continue;  // anything beats unmatched
+    if (pa == kNoNode) return false;
+    const NodeId wa = bg.woman_index(pa);
+    const NodeId wb = bg.woman_index(pb);
+    if (wa != wb && !inst.man_pref(man).prefers(wa, wb)) return false;
+  }
+  return true;
+}
+
+}  // namespace dasm

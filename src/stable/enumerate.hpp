@@ -1,0 +1,29 @@
+// Exhaustive enumeration of matchings and stable matchings for SMALL
+// instances — the ground-truth oracle behind the exhaustive tests (the
+// stable lattice structure, man/woman-optimality of Gale–Shapley, and
+// the tightness of blocking-pair counts).
+//
+// Complexity is factorial; calls are guarded to tiny instances.
+#pragma once
+
+#include <vector>
+
+#include "graph/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm {
+
+/// All matchings of the instance (every subset of E that is a matching),
+/// including the empty one. Requires n_men + n_women <= 16.
+std::vector<Matching> enumerate_matchings(const Instance& inst);
+
+/// All stable matchings. Requires n_men + n_women <= 16. Nonempty for
+/// every instance (Gale–Shapley's theorem).
+std::vector<Matching> enumerate_stable_matchings(const Instance& inst);
+
+/// True iff under `a` every man does at least as well as under `b`
+/// (matched-to-weakly-preferred partner; matched beats unmatched).
+bool men_weakly_prefer(const Instance& inst, const Matching& a,
+                       const Matching& b);
+
+}  // namespace dasm

@@ -1,0 +1,25 @@
+// Centralized (extended) Gale–Shapley [4, 5]: the classical baseline. The
+// man-proposing variant returns the man-optimal stable matching; with
+// incomplete lists some players may remain unmatched, and by the
+// Rural-Hospitals theorem the set of matched players is the same in every
+// stable matching.
+#pragma once
+
+#include "graph/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm {
+
+struct GaleShapleyResult {
+  Matching matching{0};
+  std::int64_t proposals = 0;  ///< total proposals issued — Theta(n^2) worst case
+};
+
+/// Sequential man-proposing extended Gale–Shapley.
+GaleShapleyResult gale_shapley(const Instance& inst);
+
+/// Sequential woman-proposing variant (woman-optimal stable matching);
+/// used by tests to cross-check stable-matching structure.
+GaleShapleyResult gale_shapley_woman_proposing(const Instance& inst);
+
+}  // namespace dasm

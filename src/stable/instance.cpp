@@ -1,0 +1,76 @@
+#include "stable/instance.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+Instance::Instance(std::vector<PreferenceList> men,
+                   std::vector<PreferenceList> women)
+    : men_(std::move(men)), women_(std::move(women)) {
+  const NodeId nm = static_cast<NodeId>(men_.size());
+  const NodeId nw = static_cast<NodeId>(women_.size());
+  std::vector<std::vector<NodeId>> men_to_women(men_.size());
+  for (NodeId m = 0; m < nm; ++m) {
+    for (NodeId w : men_[static_cast<std::size_t>(m)].ranked()) {
+      DASM_CHECK_MSG(w < nw, "man " << m << " ranks nonexistent woman " << w);
+      DASM_CHECK_MSG(women_[static_cast<std::size_t>(w)].contains(m),
+                     "asymmetric preferences: man " << m << " ranks woman "
+                                                    << w << " but not back");
+      men_to_women[static_cast<std::size_t>(m)].push_back(w);
+    }
+  }
+  std::int64_t woman_side_edges = 0;
+  for (NodeId w = 0; w < nw; ++w) {
+    for (NodeId m : women_[static_cast<std::size_t>(w)].ranked()) {
+      DASM_CHECK_MSG(m < nm, "woman " << w << " ranks nonexistent man " << m);
+      DASM_CHECK_MSG(men_[static_cast<std::size_t>(m)].contains(w),
+                     "asymmetric preferences: woman " << w << " ranks man "
+                                                      << m << " but not back");
+      ++woman_side_edges;
+    }
+  }
+  graph_ = std::make_unique<BipartiteGraph>(nm, nw, men_to_women);
+  DASM_CHECK(graph_->graph().edge_count() == woman_side_edges);
+}
+
+const PreferenceList& Instance::man_pref(NodeId m) const {
+  DASM_CHECK(m >= 0 && m < n_men());
+  return men_[static_cast<std::size_t>(m)];
+}
+
+const PreferenceList& Instance::woman_pref(NodeId w) const {
+  DASM_CHECK(w >= 0 && w < n_women());
+  return women_[static_cast<std::size_t>(w)];
+}
+
+bool Instance::is_complete() const {
+  for (const auto& p : men_) {
+    if (p.degree() != n_women()) return false;
+  }
+  for (const auto& p : women_) {
+    if (p.degree() != n_men()) return false;
+  }
+  return true;
+}
+
+double Instance::regularity_alpha() const {
+  NodeId lo = 0;
+  NodeId hi = 0;
+  bool any = false;
+  for (const auto& p : men_) {
+    if (p.degree() == 0) continue;
+    if (!any) {
+      lo = hi = p.degree();
+      any = true;
+    } else {
+      lo = std::min(lo, p.degree());
+      hi = std::max(hi, p.degree());
+    }
+  }
+  if (!any) return 1.0;
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+}  // namespace dasm

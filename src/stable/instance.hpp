@@ -1,0 +1,43 @@
+// A stable-marriage instance: symmetric preference lists for men and
+// women plus the communication graph they induce (§2.1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "stable/preferences.hpp"
+
+namespace dasm {
+
+class Instance {
+ public:
+  /// Validates symmetry: w appears on m's list iff m appears on w's list.
+  Instance(std::vector<PreferenceList> men, std::vector<PreferenceList> women);
+
+  NodeId n_men() const { return static_cast<NodeId>(men_.size()); }
+  NodeId n_women() const { return static_cast<NodeId>(women_.size()); }
+
+  const PreferenceList& man_pref(NodeId m) const;
+  const PreferenceList& woman_pref(NodeId w) const;
+
+  /// Communication graph; man i has node id i, woman j id n_men + j.
+  const BipartiteGraph& graph() const { return *graph_; }
+
+  std::int64_t edge_count() const { return graph_->graph().edge_count(); }
+
+  /// True iff every player ranks every member of the opposite side.
+  bool is_complete() const;
+
+  /// Regularity ratio alpha = max_m deg(m) / min_m deg(m) over men with
+  /// nonzero degree (§5.2); 1.0 when all degrees are equal or no man has
+  /// an acceptable partner.
+  double regularity_alpha() const;
+
+ private:
+  std::vector<PreferenceList> men_;
+  std::vector<PreferenceList> women_;
+  std::unique_ptr<BipartiteGraph> graph_;
+};
+
+}  // namespace dasm

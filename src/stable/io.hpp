@@ -1,0 +1,44 @@
+// Plain-text serialization of instances and matchings, so experiments are
+// reproducible across tools and instances can be shipped to the dasm CLI.
+//
+// Instance format (whitespace-tolerant, line oriented):
+//
+//   dasm-instance 1
+//   men 3 women 2
+//   m 0 : 1 0        <- man 0 ranks woman 1 first, then woman 0
+//   m 1 :
+//   m 2 : 0
+//   w 0 : 2 0
+//   w 1 : 0
+//
+// Matching format:
+//
+//   dasm-matching 1
+//   pairs 2
+//   0 1              <- man 0 matched with woman 1
+//   2 0
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace dasm {
+
+void save_instance(std::ostream& os, const Instance& inst);
+Instance load_instance(std::istream& is);
+
+void save_instance_file(const std::string& path, const Instance& inst);
+Instance load_instance_file(const std::string& path);
+
+void save_matching(std::ostream& os, const Instance& inst,
+                   const Matching& matching);
+Matching load_matching(std::istream& is, const Instance& inst);
+
+/// Role-swapped copy of the instance: women become the proposing side.
+/// Useful for woman-proposing runs of any algorithm in this library.
+Instance transpose(const Instance& inst);
+
+}  // namespace dasm

@@ -1,0 +1,59 @@
+#include "stable/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+double MatchingMetrics::mean_man_rank() const {
+  if (matched_pairs == 0) return 0.0;
+  return static_cast<double>(men_rank_sum) /
+         static_cast<double>(matched_pairs);
+}
+
+double MatchingMetrics::mean_woman_rank() const {
+  if (matched_pairs == 0) return 0.0;
+  return static_cast<double>(women_rank_sum) /
+         static_cast<double>(matched_pairs);
+}
+
+MatchingMetrics compute_metrics(const Instance& inst,
+                                const Matching& matching) {
+  DASM_CHECK(matching.node_count() == inst.graph().node_count());
+  MatchingMetrics m;
+  const auto& bg = inst.graph();
+  for (NodeId man = 0; man < inst.n_men(); ++man) {
+    const NodeId partner_node = matching.partner_of(bg.man_id(man));
+    if (partner_node == kNoNode) {
+      ++m.unmatched_men;
+      continue;
+    }
+    const NodeId woman = bg.woman_index(partner_node);
+    const NodeId r = inst.man_pref(man).rank_of(woman);
+    DASM_CHECK_MSG(r != kNoNode,
+                   "man " << man << " matched to unranked woman " << woman);
+    ++m.matched_pairs;
+    m.men_rank_sum += r + 1;
+    m.men_regret = std::max<std::int64_t>(m.men_regret, r + 1);
+  }
+  for (NodeId woman = 0; woman < inst.n_women(); ++woman) {
+    const NodeId partner_node = matching.partner_of(bg.woman_id(woman));
+    if (partner_node == kNoNode) {
+      ++m.unmatched_women;
+      continue;
+    }
+    const NodeId man = bg.man_index(partner_node);
+    const NodeId r = inst.woman_pref(woman).rank_of(man);
+    DASM_CHECK_MSG(r != kNoNode,
+                   "woman " << woman << " matched to unranked man " << man);
+    m.women_rank_sum += r + 1;
+    m.women_regret = std::max<std::int64_t>(m.women_regret, r + 1);
+  }
+  m.egalitarian_cost = m.men_rank_sum + m.women_rank_sum;
+  m.sex_equality_cost = std::llabs(m.men_rank_sum - m.women_rank_sum);
+  return m;
+}
+
+}  // namespace dasm

@@ -1,0 +1,68 @@
+#include "stable/preferences.hpp"
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+PreferenceList::PreferenceList(std::vector<NodeId> ranked)
+    : ranked_(std::move(ranked)) {
+  rank_.reserve(ranked_.size());
+  for (std::size_t r = 0; r < ranked_.size(); ++r) {
+    const NodeId u = ranked_[r];
+    DASM_CHECK_MSG(u >= 0, "negative partner id " << u);
+    const bool inserted =
+        rank_.emplace(u, static_cast<NodeId>(r)).second;
+    DASM_CHECK_MSG(inserted, "partner " << u << " ranked twice");
+  }
+}
+
+NodeId PreferenceList::at_rank(NodeId r) const {
+  DASM_CHECK(r >= 0 && r < degree());
+  return ranked_[static_cast<std::size_t>(r)];
+}
+
+NodeId PreferenceList::rank_of(NodeId partner) const {
+  const auto it = rank_.find(partner);
+  return it == rank_.end() ? kNoNode : it->second;
+}
+
+bool PreferenceList::prefers(NodeId a, NodeId b) const {
+  const NodeId ra = rank_of(a);
+  const NodeId rb = rank_of(b);
+  DASM_CHECK_MSG(ra != kNoNode, "partner " << a << " is not ranked");
+  DASM_CHECK_MSG(rb != kNoNode, "partner " << b << " is not ranked");
+  return ra < rb;
+}
+
+bool PreferenceList::prefers_over_partner(NodeId a, NodeId b) const {
+  const NodeId ra = rank_of(a);
+  DASM_CHECK_MSG(ra != kNoNode, "partner " << a << " is not ranked");
+  if (b == kNoNode) return true;
+  const NodeId rb = rank_of(b);
+  DASM_CHECK_MSG(rb != kNoNode, "partner " << b << " is not ranked");
+  return ra < rb;
+}
+
+NodeId PreferenceList::quantile_of(NodeId partner, NodeId k) const {
+  DASM_CHECK(k >= 1);
+  const NodeId r = rank_of(partner);
+  DASM_CHECK_MSG(r != kNoNode, "partner " << partner << " is not ranked");
+  const auto d = static_cast<std::int64_t>(degree());
+  const auto q =
+      static_cast<NodeId>((static_cast<std::int64_t>(r) * k) / d + 1);
+  DASM_DCHECK(q >= 1 && q <= k);
+  return q;
+}
+
+std::vector<NodeId> PreferenceList::quantile_members(NodeId q, NodeId k) const {
+  DASM_CHECK(k >= 1);
+  DASM_CHECK(q >= 1 && q <= k);
+  std::vector<NodeId> out;
+  for (NodeId r = 0; r < degree(); ++r) {
+    const NodeId u = ranked_[static_cast<std::size_t>(r)];
+    if (quantile_of(u, k) == q) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace dasm

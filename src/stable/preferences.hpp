@@ -1,0 +1,61 @@
+// Preference lists and their quantization (§2.1, §3.1).
+//
+// A PreferenceList is a strict ranking over a subset of the opposite side,
+// identified by 0-based opposite-side indices. Ranks are 0-based
+// internally; the paper's 1-based rank P^v(u) is rank_of(u) + 1.
+//
+// Quantization (§3.1): for k quantiles, partner u of a player with degree
+// d falls in quantile q(u) = floor(rank_of(u) * k / d) + 1 in {1, ..., k} —
+// k consecutive blocks of (almost) equal size d/k, quantile 1 being the
+// most preferred. When k >= d every quantile holds at most one partner and
+// ProposalRound degenerates to classical Gale–Shapley (§3.2).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "congest/types.hpp"
+
+namespace dasm {
+
+class PreferenceList {
+ public:
+  PreferenceList() = default;
+
+  /// `ranked` lists acceptable partners, most preferred first; entries
+  /// must be distinct and non-negative.
+  explicit PreferenceList(std::vector<NodeId> ranked);
+
+  NodeId degree() const { return static_cast<NodeId>(ranked_.size()); }
+  bool empty() const { return ranked_.empty(); }
+
+  /// Partner at 0-based rank r (0 = most preferred).
+  NodeId at_rank(NodeId r) const;
+
+  /// 0-based rank of `partner`, or kNoNode if unranked.
+  NodeId rank_of(NodeId partner) const;
+
+  bool contains(NodeId partner) const { return rank_of(partner) != kNoNode; }
+
+  /// True iff `a` is strictly preferred to `b`; both must be ranked.
+  bool prefers(NodeId a, NodeId b) const;
+
+  /// True iff `a` is strictly preferred to the current partner `b`, where
+  /// b == kNoNode means unmatched and every acceptable partner is
+  /// preferred to being unmatched (§2.1 convention).
+  bool prefers_over_partner(NodeId a, NodeId b) const;
+
+  /// 1-based quantile of `partner` among k quantiles (see file comment).
+  NodeId quantile_of(NodeId partner, NodeId k) const;
+
+  /// Partners in 1-based quantile q of k.
+  std::vector<NodeId> quantile_members(NodeId q, NodeId k) const;
+
+  const std::vector<NodeId>& ranked() const { return ranked_; }
+
+ private:
+  std::vector<NodeId> ranked_;
+  std::unordered_map<NodeId, NodeId> rank_;
+};
+
+}  // namespace dasm

@@ -1,0 +1,28 @@
+#include "stable/truncated_gs.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+TruncatedGsResult truncated_gale_shapley(const Instance& inst,
+                                         std::int64_t sweeps) {
+  DASM_CHECK(sweeps >= 1);
+  DistributedGsResult gs = distributed_gale_shapley(inst, sweeps);
+  TruncatedGsResult out;
+  out.matching = std::move(gs.matching);
+  out.net = gs.net;
+  out.sweeps = gs.sweeps;
+  out.already_stable = gs.converged;
+  return out;
+}
+
+std::int64_t truncation_sweeps(NodeId max_degree, double eps) {
+  DASM_CHECK(max_degree >= 1);
+  DASM_CHECK(eps > 0.0);
+  const double d = static_cast<double>(max_degree);
+  return static_cast<std::int64_t>(std::ceil(d * d / eps));
+}
+
+}  // namespace dasm

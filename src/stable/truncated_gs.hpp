@@ -1,0 +1,31 @@
+// Truncated Gale–Shapley — the baseline of Floréen, Kaski, Polishchuk and
+// Suomela [3] (§1.1).
+//
+// For preference lists of maximum degree Delta, stopping the distributed
+// Gale–Shapley algorithm after a constant number of sweeps (a function of
+// epsilon and Delta only) leaves at most eps * |M| blocking pairs. The
+// guarantee is vacuous for unbounded lists — exactly the gap ASM closes —
+// and bench E10 exhibits both regimes.
+#pragma once
+
+#include "stable/distributed_gs.hpp"
+
+namespace dasm {
+
+struct TruncatedGsResult {
+  Matching matching{0};
+  NetStats net;
+  std::int64_t sweeps = 0;
+  bool already_stable = false;  ///< GS converged within the budget
+};
+
+/// Runs distributed GS for exactly `sweeps` two-round sweeps (or fewer if
+/// it converges first) and returns the matching held at that point.
+TruncatedGsResult truncated_gale_shapley(const Instance& inst,
+                                         std::int64_t sweeps);
+
+/// Sweep budget suggested by [3] for bounded lists: O(Delta^2 / eps) sweeps
+/// suffice to make the number of blocking pairs at most eps * |M|.
+std::int64_t truncation_sweeps(NodeId max_degree, double eps);
+
+}  // namespace dasm

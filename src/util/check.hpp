@@ -1,0 +1,55 @@
+// Lightweight precondition / invariant checking.
+//
+// DASM_CHECK is always on (used to validate library invariants and user
+// input); DASM_DCHECK compiles out in release builds and guards expensive
+// internal assertions. Both throw dasm::CheckError so tests can assert on
+// violations instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dasm {
+
+/// Raised when a DASM_CHECK / DASM_DCHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dasm
+
+#define DASM_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) ::dasm::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DASM_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream dasm_check_os_;                                \
+      dasm_check_os_ << msg;                                            \
+      ::dasm::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                   dasm_check_os_.str());               \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define DASM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DASM_DCHECK(cond) DASM_CHECK(cond)
+#endif

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  DASM_CHECK(xs.size() == ys.size());
+  DASM_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+LinearFit loglog_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    DASM_CHECK(xs[i] > 0.0);
+    DASM_CHECK(ys[i] > 0.0);
+    lx[i] = std::log2(xs[i]);
+    ly[i] = std::log2(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+LinearFit semilog_fit(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    DASM_CHECK(xs[i] > 0.0);
+    lx[i] = std::log2(xs[i]);
+  }
+  return linear_fit(lx, ys);
+}
+
+double percentile(std::vector<double> data, double p) {
+  DASM_CHECK(!data.empty());
+  DASM_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) return data[0];
+  const double rank = p / 100.0 * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, data.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace dasm

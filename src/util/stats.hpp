@@ -1,0 +1,62 @@
+// Small statistics toolkit used by tests and the benchmark harness:
+// streaming summaries, percentiles, and least-squares fits (used to verify
+// asymptotic shapes, e.g. that ASM's round count grows polylogarithmically).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dasm {
+
+/// Streaming univariate summary (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of an approximate 95% confidence interval for the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit over paired samples. Requires xs.size() == ys.size()
+/// and at least two points.
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fit y = a * x^b by regressing log y on log x; returns {slope = b,
+/// intercept = log a}. All inputs must be positive.
+LinearFit loglog_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fit y = a + b * log2(x): detects polylogarithmic growth. xs positive.
+LinearFit semilog_fit(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation. data is
+/// copied and sorted; must be non-empty.
+double percentile(std::vector<double> data, double p);
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace dasm

@@ -1,0 +1,40 @@
+// Column-aligned plain-text table printer used by the experiment harness to
+// emit the rows/series each experiment in EXPERIMENTS.md reports.
+#pragma once
+
+#include <concepts>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dasm {
+
+/// Builds a fixed-schema table row by row and renders it with aligned
+/// columns. Cells are strings; helpers format numbers consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string num(double v, int precision = 4);
+  /// Formats an integer-valued cell (exact match for any integral type,
+  /// so integer arguments never fall into the double overload).
+  template <std::integral T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dasm

@@ -1,0 +1,88 @@
+// Systematic accounting-equivalence grid: across families, trimming the
+// deterministic engine's provably silent phases never changes the
+// execution — matching, traffic, and diagnostics are identical — and the
+// untrimmed run executes exactly its scheduled rounds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+
+namespace dasm::core {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t>;
+
+Instance build(const std::string& family, std::uint64_t seed) {
+  const NodeId n = 20;
+  if (family == "complete") return gen::complete_uniform(n, seed);
+  if (family == "incomplete")
+    return gen::incomplete_uniform(n, n, 0.3, seed);
+  if (family == "regular") return gen::regular_bipartite(n, 5, seed);
+  if (family == "master") return gen::master_list(n, n, seed);
+  if (family == "zipf") return gen::zipf_popularity(n, 1.5, seed);
+  if (family == "chain") return gen::gs_displacement_chain(n);
+  return gen::almost_regular(n, 3, 8, seed);
+}
+
+class TrimEquivalenceGrid : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TrimEquivalenceGrid, TrimmingIsInvisible) {
+  const auto& [family, seed] = GetParam();
+  const Instance inst = build(family, seed);
+
+  AsmParams trimmed;
+  trimmed.epsilon = 0.5;
+  trimmed.inner_iterations = 16;  // keep the untrimmed run affordable
+  trimmed.outer_iterations = 2;
+  AsmParams full = trimmed;
+  full.trim_quiescent_phases = false;
+
+  const AsmResult a = run_asm(inst, trimmed);
+  const AsmResult b = run_asm(inst, full);
+
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.net.messages, b.net.messages);
+  EXPECT_EQ(a.net.bits, b.net.bits);
+  EXPECT_EQ(a.good_men, b.good_men);
+  EXPECT_EQ(a.good_count, b.good_count);
+  EXPECT_EQ(a.final_q_size, b.final_q_size);
+  for (std::size_t t = 0; t < a.net.messages_by_type.size(); ++t) {
+    EXPECT_EQ(a.net.messages_by_type[t], b.net.messages_by_type[t]);
+  }
+  // The untrimmed deterministic run executes every round it schedules.
+  EXPECT_EQ(b.net.executed_rounds, b.net.scheduled_rounds);
+  EXPECT_LE(a.net.executed_rounds, b.net.executed_rounds);
+  EXPECT_LE(a.proposal_rounds_executed, b.proposal_rounds_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TrimEquivalenceGrid,
+    ::testing::Combine(
+        ::testing::Values(std::string("complete"), std::string("incomplete"),
+                          std::string("regular"), std::string("master"),
+                          std::string("zipf"), std::string("chain"),
+                          std::string("almost_regular")),
+        ::testing::Values(1, 2, 3)));
+
+TEST(Accounting, ChargesCoverTheFullScheduleWithFixedBudget) {
+  // With a fixed MM budget, trimmed scheduled_rounds must equal the
+  // closed-form schedule whenever the run is not budget- or
+  // quiescence-terminated early... termination charges the remainder, so
+  // equality holds for every complete run.
+  const Instance inst = gen::complete_uniform(16, 4);
+  AsmParams p;
+  p.epsilon = 0.5;
+  p.mm_backend = mm::Backend::kIsraeliItai;
+  p.mm_iteration_budget = 4;
+  p.inner_iterations = 8;
+  p.outer_iterations = 2;
+  const AsmResult r = run_asm(inst, p);
+  EXPECT_EQ(r.net.scheduled_rounds, r.schedule.scheduled_rounds());
+}
+
+}  // namespace
+}  // namespace dasm::core

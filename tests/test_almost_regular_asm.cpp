@@ -1,0 +1,107 @@
+// AlmostRegularASM (§5.2, Theorem 6).
+#include "core/almost_regular_asm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+
+namespace dasm::core {
+namespace {
+
+class AlmostRegularSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlmostRegularSeeds, AlmostStableOnCompletePreferences) {
+  // Complete preferences are 1-almost-regular.
+  const Instance inst = gen::complete_uniform(48, GetParam());
+  AlmostRegularAsmParams params;
+  params.epsilon = 0.25;
+  params.seed = GetParam() + 5;
+  const AsmResult r = run_almost_regular_asm(inst, params);
+  validate_matching(inst, r.matching);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, r.matching)),
+            params.epsilon * static_cast<double>(inst.edge_count()));
+}
+
+TEST_P(AlmostRegularSeeds, AlmostStableOnRegularPreferences) {
+  const Instance inst = gen::regular_bipartite(64, 8, GetParam());
+  AlmostRegularAsmParams params;
+  params.epsilon = 0.25;
+  params.seed = GetParam();
+  const AsmResult r = run_almost_regular_asm(inst, params);
+  validate_matching(inst, r.matching);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, r.matching)),
+            params.epsilon * static_cast<double>(inst.edge_count()));
+}
+
+TEST_P(AlmostRegularSeeds, AlmostStableOnAlmostRegularPreferences) {
+  const Instance inst = gen::almost_regular(64, 6, 12, GetParam());
+  AlmostRegularAsmParams params;
+  params.epsilon = 0.25;
+  params.seed = GetParam();
+  const AsmResult r = run_almost_regular_asm(inst, params);
+  validate_matching(inst, r.matching);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, r.matching)),
+            params.epsilon * static_cast<double>(inst.edge_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlmostRegularSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(AlmostRegularAsm, ScheduleIsIndependentOfN) {
+  // Theorem 6's headline: the round budget does not grow with n.
+  AlmostRegularAsmParams params;
+  params.epsilon = 0.25;
+  params.alpha = 1.0;
+  const Instance small = gen::complete_uniform(16, 1);
+  const Instance large = gen::complete_uniform(128, 1);
+  const auto rs = run_almost_regular_asm(small, params);
+  const auto rl = run_almost_regular_asm(large, params);
+  EXPECT_EQ(rs.schedule.scheduled_rounds(), rl.schedule.scheduled_rounds());
+  EXPECT_EQ(rs.schedule.outer, 1);
+  EXPECT_EQ(almost_regular_mm_budget(small, params),
+            almost_regular_mm_budget(large, params));
+}
+
+TEST(AlmostRegularAsm, DroppedMenStayWithinBudget) {
+  AlmostRegularAsmParams params;
+  params.epsilon = 0.25;
+  const Instance inst = gen::complete_uniform(64, 17);
+  const AsmResult r = run_almost_regular_asm(inst, params);
+  std::int64_t dropped = 0;
+  for (const bool d : r.dropped_men) dropped += d ? 1 : 0;
+  const double alpha = inst.regularity_alpha();
+  // Theorem 6 proof: at most an eps/(4 alpha) fraction of men may be
+  // dropped (with probability 1 - failure_prob).
+  EXPECT_LE(static_cast<double>(dropped),
+            params.epsilon / (4.0 * alpha) * 64.0 + 1e-9);
+}
+
+TEST(AlmostRegularAsm, MeasuresAlphaWhenUnset) {
+  const Instance inst = gen::almost_regular(32, 4, 8, 3);
+  AlmostRegularAsmParams params;
+  params.epsilon = 0.5;
+  // Should not throw, and the inner loop must scale with alpha: a bigger
+  // explicit alpha yields at least as many inner iterations.
+  const AsmResult measured = run_almost_regular_asm(inst, params);
+  AlmostRegularAsmParams forced = params;
+  forced.alpha = 8.0;
+  const AsmResult wide = run_almost_regular_asm(inst, forced);
+  EXPECT_GE(wide.schedule.inner, measured.schedule.inner);
+}
+
+TEST(AlmostRegularAsm, BudgetGrowsWithAlpha) {
+  const Instance inst = gen::complete_uniform(32, 1);
+  AlmostRegularAsmParams a;
+  a.alpha = 1.0;
+  AlmostRegularAsmParams b;
+  b.alpha = 4.0;
+  EXPECT_LE(almost_regular_mm_budget(inst, a),
+            almost_regular_mm_budget(inst, b));
+  const Schedule sa = run_almost_regular_asm(inst, a).schedule;
+  const Schedule sb = run_almost_regular_asm(inst, b).schedule;
+  EXPECT_LT(sa.inner, sb.inner);
+}
+
+}  // namespace
+}  // namespace dasm::core

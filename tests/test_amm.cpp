@@ -1,0 +1,81 @@
+// AMM (Appendix A, Corollary 2): iteration budgets and the
+// (1-eta)-maximality guarantee.
+#include "mm/amm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_graphs.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+using testing::random_graph;
+
+TEST(AmmBudget, GrowsAsTargetsShrink) {
+  EXPECT_LT(mm::amm_iterations(0.5, 0.5), mm::amm_iterations(0.1, 0.5));
+  EXPECT_LT(mm::amm_iterations(0.1, 0.5), mm::amm_iterations(0.1, 0.01));
+  EXPECT_GE(mm::amm_iterations(1.0, 1.0), 1);
+}
+
+TEST(AmmBudget, LogarithmicShape) {
+  // Corollary 2: s = O(log(1/(eta delta))). Squaring the reciprocal target
+  // should roughly double the budget.
+  const int s1 = mm::amm_iterations(0.1, 0.1);
+  const int s2 = mm::amm_iterations(0.01, 0.01);
+  EXPECT_GT(s2, s1);
+  EXPECT_LE(s2, 2 * s1 + 2);
+}
+
+TEST(AmmBudget, MaximalityBudgetGrowsWithN) {
+  const int small = mm::maximality_iterations(16, 0.1);
+  const int large = mm::maximality_iterations(16 * 16, 0.1);
+  EXPECT_GT(large, small);
+  // log-scale growth: squaring n should about double log(n/eta).
+  EXPECT_LE(large, 2 * small + 2);
+}
+
+TEST(AmmBudget, SharperDecayNeedsFewerIterations) {
+  EXPECT_LT(mm::amm_iterations(0.1, 0.1, 0.5),
+            mm::amm_iterations(0.1, 0.1, 0.9));
+}
+
+TEST(AmmBudget, RejectsBadParameters) {
+  EXPECT_THROW(mm::amm_iterations(0.0, 0.5), CheckError);
+  EXPECT_THROW(mm::amm_iterations(0.5, 0.0), CheckError);
+  EXPECT_THROW(mm::amm_iterations(0.5, 0.5, 1.0), CheckError);
+  EXPECT_THROW(mm::maximality_iterations(0, 0.5), CheckError);
+}
+
+class AmmSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AmmSeeds, AlmostMaximalWithinBudget) {
+  const double eta = 0.1;
+  const double delta = 0.1;
+  const Graph g = random_graph(150, 0.05, GetParam());
+  const auto r = mm::run_amm(g, eta, delta, GetParam() + 7);
+  EXPECT_TRUE(r.matching.is_valid(g));
+  // The guarantee is probabilistic with failure probability delta; with
+  // the conservative default decay the budget virtually always suffices.
+  EXPECT_TRUE(r.matching.is_almost_maximal(g, eta));
+  EXPECT_LE(r.iterations_executed, mm::amm_iterations(eta, delta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmmSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Amm, TinyBudgetCanLeaveUnsatisfiedVertices) {
+  // With a single MatchingRound on a dense graph, some vertices usually
+  // remain unsatisfied — that is exactly the regime AMM tolerates.
+  const Graph g = random_graph(200, 0.2, 99);
+  mm::RunConfig c;
+  c.backend = mm::Backend::kIsraeliItai;
+  c.seed = 99;
+  c.max_iterations = 1;
+  const auto r = mm::run_maximal_matching(g, {}, c);
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_FALSE(r.maximal);
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,185 @@
+// Blocking-pair verification (Definitions 1 and 2), cross-checked against
+// an independent brute-force implementation.
+#include "stable/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "mm/greedy.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dasm {
+namespace {
+
+Instance two_by_two() {
+  // men: m0: w0 > w1, m1: w0 > w1 ; women: w0: m1 > m0, w1: m1 > m0.
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1});
+  men.emplace_back(std::vector<NodeId>{0, 1});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1, 0});
+  women.emplace_back(std::vector<NodeId>{1, 0});
+  return Instance(std::move(men), std::move(women));
+}
+
+Matching make_matching(const Instance& inst,
+                       const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  Matching m(inst.graph().node_count());
+  for (const auto& [man, woman] : pairs) {
+    m.add(inst.graph().man_id(man), inst.graph().woman_id(woman));
+  }
+  return m;
+}
+
+TEST(Blocking, StableAndUnstableMatchings) {
+  const Instance inst = two_by_two();
+  // m1-w0, m0-w1 is stable (w0 has her favourite; m0 cannot improve: w0
+  // prefers m1).
+  const Matching stable = make_matching(inst, {{1, 0}, {0, 1}});
+  EXPECT_TRUE(is_stable(inst, stable));
+  EXPECT_EQ(count_blocking_pairs(inst, stable), 0);
+
+  // m0-w0, m1-w1: (m1, w0) blocks — m1 prefers w0, w0 prefers m1.
+  const Matching unstable = make_matching(inst, {{0, 0}, {1, 1}});
+  const auto pairs = blocking_pairs(inst, unstable);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (BlockingPair{1, 0}));
+  EXPECT_FALSE(is_stable(inst, unstable));
+}
+
+TEST(Blocking, EmptyMatchingBlocksEverywhere) {
+  const Instance inst = two_by_two();
+  const Matching empty = make_matching(inst, {});
+  // Unmatched players prefer any acceptable partner: every edge blocks.
+  EXPECT_EQ(count_blocking_pairs(inst, empty), inst.edge_count());
+  EXPECT_TRUE(is_almost_stable(inst, empty, 1.0));
+  EXPECT_FALSE(is_almost_stable(inst, empty, 0.5));
+}
+
+TEST(Blocking, MatchedEdgesNeverBlock) {
+  const Instance inst = two_by_two();
+  const Matching m = make_matching(inst, {{0, 0}});
+  for (const auto& bp : blocking_pairs(inst, m)) {
+    EXPECT_FALSE(bp.man == 0 && bp.woman == 0);
+  }
+}
+
+TEST(Blocking, AlmostStableThreshold) {
+  const Instance inst = two_by_two();
+  const Matching unstable = make_matching(inst, {{0, 0}, {1, 1}});
+  // 1 blocking pair, |E| = 4.
+  EXPECT_TRUE(is_almost_stable(inst, unstable, 0.25));
+  EXPECT_FALSE(is_almost_stable(inst, unstable, 0.2));
+}
+
+TEST(EpsBlocking, RequiresGapOnBothSides) {
+  // Degree-4 lists; eps = 0.5 needs a rank gap of >= 2 on each side.
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
+  men.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
+  men.emplace_back(std::vector<NodeId>{2, 0, 1, 3});
+  men.emplace_back(std::vector<NodeId>{3, 0, 1, 2});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1, 0, 2, 3});
+  women.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
+  women.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
+  women.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
+  const Instance inst(std::move(men), std::move(women));
+
+  // m0-w3 (his rank 4, her rank 1), m1-w1, m2-w2, w0 unmatched.
+  const Matching m = make_matching(inst, {{0, 3}, {1, 1}, {2, 2}});
+  // (m0, w0): m0 gap = rank(w3) - rank(w0) = 4 - 1 = 3 >= 2. w0 is
+  // unmatched: gap = 5 - 2 = 3 >= 2. So it is 0.5-blocking.
+  const auto eps_pairs = eps_blocking_pairs(inst, m, 0.5);
+  EXPECT_NE(std::find(eps_pairs.begin(), eps_pairs.end(),
+                      BlockingPair{0, 0}),
+            eps_pairs.end());
+  // (m1, w0): m1 gap = rank(w1)=2 minus rank(w0)=1 -> 1 < 2: not
+  // 0.5-blocking even though it blocks classically.
+  EXPECT_EQ(std::find(eps_pairs.begin(), eps_pairs.end(),
+                      BlockingPair{1, 0}),
+            eps_pairs.end());
+  const auto classic = blocking_pairs(inst, m);
+  EXPECT_NE(std::find(classic.begin(), classic.end(), BlockingPair{1, 0}),
+            classic.end());
+}
+
+TEST(EpsBlocking, ZeroEpsMatchesClassicalOnSupersetRule) {
+  // With eps = 0 every classical blocking pair (strict preference on both
+  // sides => rank gaps >= 1 > 0) is 0-eps-blocking and vice versa... the
+  // definition with eps = 0 also admits gap-0 pairs, which cannot block.
+  const Instance inst = gen::complete_uniform(10, 2);
+  Xoshiro256 rng(2);
+  const Matching m =
+      mm::greedy_maximal_matching(inst.graph().graph(), rng);
+  const auto classic = blocking_pairs(inst, m);
+  const auto eps0 = eps_blocking_pairs(inst, m, 0.0);
+  for (const auto& bp : classic) {
+    EXPECT_NE(std::find(eps0.begin(), eps0.end(), bp), eps0.end());
+  }
+}
+
+class BlockingBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockingBruteForce, AgreesWithNaiveRecount) {
+  const Instance inst = gen::incomplete_uniform(14, 14, 0.5, GetParam());
+  Xoshiro256 rng(GetParam() + 1);
+  const Matching m =
+      mm::greedy_maximal_matching(inst.graph().graph(), rng);
+  validate_matching(inst, m);
+
+  // Independent brute force straight from Definition 1.
+  std::int64_t naive = 0;
+  for (NodeId man = 0; man < inst.n_men(); ++man) {
+    for (NodeId woman = 0; woman < inst.n_women(); ++woman) {
+      if (!inst.man_pref(man).contains(woman)) continue;
+      const NodeId man_node = inst.graph().man_id(man);
+      const NodeId woman_node = inst.graph().woman_id(woman);
+      if (m.partner_of(man_node) == woman_node) continue;
+      const NodeId pm = m.partner_of(man_node);
+      const NodeId pw = m.partner_of(woman_node);
+      const NodeId pm_idx =
+          pm == kNoNode ? kNoNode : inst.graph().woman_index(pm);
+      const NodeId pw_idx =
+          pw == kNoNode ? kNoNode : inst.graph().man_index(pw);
+      const bool man_wants =
+          pm_idx == kNoNode || inst.man_pref(man).prefers(woman, pm_idx);
+      const bool woman_wants =
+          pw_idx == kNoNode || inst.woman_pref(woman).prefers(man, pw_idx);
+      if (man_wants && woman_wants) ++naive;
+    }
+  }
+  EXPECT_EQ(count_blocking_pairs(inst, m), naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockingBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(BlockingFilters, CountAmongSelectedMen) {
+  const Instance inst = two_by_two();
+  const Matching unstable = make_matching(inst, {{0, 0}, {1, 1}});
+  std::vector<bool> only_m1{false, true};
+  EXPECT_EQ(count_blocking_pairs_among(inst, unstable, only_m1), 1);
+  std::vector<bool> only_m0{true, false};
+  EXPECT_EQ(count_blocking_pairs_among(inst, unstable, only_m0), 0);
+  EXPECT_THROW(count_blocking_pairs_among(inst, unstable, {true}),
+               CheckError);
+  EXPECT_EQ(count_eps_blocking_pairs_among(inst, unstable, 0.5, only_m1), 1);
+}
+
+TEST(ValidateMatching, CatchesCorruptMatchings) {
+  const Instance inst = two_by_two();
+  Matching wrong_space(3);
+  EXPECT_THROW(validate_matching(inst, wrong_space), CheckError);
+
+  Matching non_edge(inst.graph().node_count());
+  non_edge.add(0, 1);  // two men — not an instance edge
+  EXPECT_THROW(validate_matching(inst, non_edge), CheckError);
+
+  const Matching ok = make_matching(inst, {{0, 0}});
+  EXPECT_EQ(validate_matching(inst, ok), 1);
+}
+
+}  // namespace
+}  // namespace dasm

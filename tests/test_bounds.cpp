@@ -1,0 +1,72 @@
+// Blocking-pair certificates (Lemmas 3, 4, 7 evaluated per run).
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "util/check.hpp"
+
+namespace dasm::core {
+namespace {
+
+class CertificateSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertificateSeeds, CertifiesMeasuredBlockingOnComplete) {
+  const Instance inst = gen::complete_uniform(48, GetParam());
+  AsmParams params;
+  params.epsilon = 0.25;
+  const AsmResult r = run_asm(inst, params);
+  const auto cert = blocking_certificate(inst, r);
+  const auto measured = count_blocking_pairs(inst, r.matching);
+  EXPECT_TRUE(cert.certifies(measured))
+      << measured << " > " << cert.certified_bound;
+  EXPECT_LE(cert.certified_bound, cert.paper_bound + cert.bad_q_sum);
+}
+
+TEST_P(CertificateSeeds, CertifiesTruncatedRunsToo) {
+  // The certificate only relies on Lemmas 3/4/7, which hold at any
+  // ProposalRound boundary — so it also covers budget-truncated runs.
+  const Instance inst = gen::master_list(64, 64, GetParam());
+  AsmParams params;
+  params.epsilon = 0.25;
+  params.max_rounds = 40;
+  const AsmResult r = run_asm(inst, params);
+  const auto cert = blocking_certificate(inst, r);
+  EXPECT_TRUE(cert.certifies(count_blocking_pairs(inst, r.matching)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificateSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Certificate, ComponentsAddUp) {
+  const Instance inst = gen::complete_uniform(32, 7);
+  const AsmResult r = run_asm(inst, AsmParams{});
+  const auto cert = blocking_certificate(inst, r);
+  EXPECT_EQ(cert.certified_bound,
+            cert.non_eps_blocking_bound + cert.bad_q_sum);
+  // k = 32 on a 1024-edge instance: Lemma 4 term is 4|E|/k = 128.
+  EXPECT_EQ(cert.non_eps_blocking_bound, 128);
+  // Paper bound: 4 (delta + 1/k) |E| = 4 (1/32 + 1/32) 1024 = 256.
+  EXPECT_EQ(cert.paper_bound, 256);
+}
+
+TEST(Certificate, AllGoodMenMeansNoBadTerm) {
+  const Instance inst = gen::complete_uniform(24, 3);
+  const AsmResult r = run_asm(inst, AsmParams{});
+  if (r.bad_count == 0) {
+    const auto cert = blocking_certificate(inst, r);
+    EXPECT_EQ(cert.bad_q_sum, 0);
+  }
+}
+
+TEST(Certificate, ValidatesResultShape) {
+  const Instance inst = gen::complete_uniform(8, 1);
+  AsmResult bogus;
+  bogus.good_men.assign(3, true);  // wrong size
+  EXPECT_THROW(blocking_certificate(inst, bogus), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm::core

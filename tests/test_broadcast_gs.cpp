@@ -1,0 +1,67 @@
+// Broadcast-and-solve baseline (footnote 1).
+#include "stable/broadcast_gs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+TEST(BroadcastGs, MatchesCentralizedAndVerifiesReconstruction) {
+  const Instance inst = gen::complete_uniform(16, 3);
+  const auto r = broadcast_gale_shapley(inst);
+  EXPECT_TRUE(r.reconstruction_verified);
+  EXPECT_EQ(r.matching, gale_shapley(inst).matching);
+  EXPECT_TRUE(is_stable(inst, r.matching));
+}
+
+TEST(BroadcastGs, RoundsAreExactlyTwoN) {
+  for (const NodeId n : {8, 16, 32}) {
+    const Instance inst = gen::complete_uniform(n, 1);
+    const auto r = broadcast_gale_shapley(inst);
+    EXPECT_EQ(r.net.executed_rounds, 2 * n);
+    EXPECT_TRUE(r.reconstruction_verified);
+  }
+}
+
+TEST(BroadcastGs, MessageVolumeIsCubic) {
+  // 2n rounds x 2n senders x n receivers = 4n^3 messages.
+  const NodeId n = 12;
+  const Instance inst = gen::complete_uniform(n, 2);
+  const auto r = broadcast_gale_shapley(inst);
+  EXPECT_EQ(r.net.messages,
+            4LL * static_cast<std::int64_t>(n) * n * n);
+}
+
+TEST(BroadcastGs, MessagesRespectCongestBudget) {
+  const Instance inst = gen::complete_uniform(24, 5);
+  const auto r = broadcast_gale_shapley(inst);
+  // Payload is a single id: well within O(log n) bits.
+  EXPECT_LE(r.net.max_message_bits, 8 + 8);
+}
+
+TEST(BroadcastGs, RejectsIncompleteOrUnbalanced) {
+  EXPECT_THROW(broadcast_gale_shapley(gen::incomplete_uniform(8, 8, 0.5, 1)),
+               CheckError);
+  EXPECT_THROW(broadcast_gale_shapley(gen::incomplete_uniform(4, 6, 1.0, 1)),
+               CheckError);
+}
+
+class BroadcastGsSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BroadcastGsSeeds, AgreesWithCentralizedGs) {
+  const Instance inst = gen::complete_uniform(20, GetParam());
+  const auto r = broadcast_gale_shapley(inst);
+  EXPECT_TRUE(r.reconstruction_verified);
+  EXPECT_EQ(r.matching, gale_shapley(inst).matching);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastGsSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,134 @@
+// Many-to-one (Hospitals/Residents) support via seat expansion.
+#include "stable/capacitated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dasm {
+namespace {
+
+// 4 residents, 2 hospitals (capacities 2 and 1).
+CapacitatedInstance small_hr() {
+  CapacitatedInstance cap;
+  cap.residents.emplace_back(std::vector<NodeId>{0, 1});
+  cap.residents.emplace_back(std::vector<NodeId>{0, 1});
+  cap.residents.emplace_back(std::vector<NodeId>{1, 0});
+  cap.residents.emplace_back(std::vector<NodeId>{0});
+  cap.hospitals.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
+  cap.hospitals.emplace_back(std::vector<NodeId>{2, 0, 1});
+  cap.capacities = {2, 1};
+  return cap;
+}
+
+TEST(SeatExpansion, BuildsTheRightShape) {
+  const SeatExpansion exp(small_hr());
+  EXPECT_EQ(exp.n_residents(), 4);
+  EXPECT_EQ(exp.n_hospitals(), 2);
+  EXPECT_EQ(exp.n_seats(), 3);
+  EXPECT_EQ(exp.hospital_of_seat(0), 0);
+  EXPECT_EQ(exp.hospital_of_seat(1), 0);
+  EXPECT_EQ(exp.hospital_of_seat(2), 1);
+  // Resident 0 ranks hospital 0's two seats, then hospital 1's seat.
+  EXPECT_EQ(exp.expanded().man_pref(0).ranked(),
+            (std::vector<NodeId>{0, 1, 2}));
+  // Resident 2 ranks hospital 1 first.
+  EXPECT_EQ(exp.expanded().man_pref(2).ranked(),
+            (std::vector<NodeId>{2, 0, 1}));
+  // Seats carry the hospital's list verbatim.
+  EXPECT_EQ(exp.expanded().woman_pref(0).ranked(),
+            exp.expanded().woman_pref(1).ranked());
+}
+
+TEST(SeatExpansion, GaleShapleyGivesStableAssignment) {
+  const SeatExpansion exp(small_hr());
+  const auto gs = gale_shapley(exp.expanded());
+  const auto assignment = exp.fold(gs.matching);
+  EXPECT_EQ(exp.count_blocking_pairs(assignment), 0);
+  // Hospital 0 (capacity 2) takes residents 0 and 1; hospital 1 takes 2.
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[1], 0);
+  EXPECT_EQ(assignment[2], 1);
+  EXPECT_EQ(assignment[3], kNoNode);  // hospital 0 full, he ranks only it
+}
+
+TEST(SeatExpansion, ValidatesInput) {
+  CapacitatedInstance cap = small_hr();
+  cap.capacities = {2};  // wrong arity
+  EXPECT_THROW(SeatExpansion{cap}, CheckError);
+  cap = small_hr();
+  cap.capacities = {0, 1};  // zero capacity
+  EXPECT_THROW(SeatExpansion{cap}, CheckError);
+  cap = small_hr();
+  cap.hospitals[1] = PreferenceList(std::vector<NodeId>{2, 0});  // asym: 1
+  EXPECT_THROW(SeatExpansion{cap}, CheckError);
+}
+
+CapacitatedInstance random_hr(NodeId residents, NodeId hospitals,
+                              NodeId max_capacity, std::uint64_t seed) {
+  Xoshiro256 rng = derive_stream(seed, 0x48);
+  CapacitatedInstance cap;
+  std::vector<std::vector<NodeId>> res_adj(
+      static_cast<std::size_t>(residents));
+  std::vector<std::vector<NodeId>> hos_adj(
+      static_cast<std::size_t>(hospitals));
+  for (NodeId r = 0; r < residents; ++r) {
+    for (NodeId h = 0; h < hospitals; ++h) {
+      if (rng.bernoulli(0.6)) {
+        res_adj[static_cast<std::size_t>(r)].push_back(h);
+        hos_adj[static_cast<std::size_t>(h)].push_back(r);
+      }
+    }
+  }
+  for (auto& adj : res_adj) {
+    rng.shuffle(adj);
+    cap.residents.emplace_back(std::move(adj));
+  }
+  for (auto& adj : hos_adj) {
+    rng.shuffle(adj);
+    cap.hospitals.emplace_back(std::move(adj));
+  }
+  for (NodeId h = 0; h < hospitals; ++h) {
+    cap.capacities.push_back(static_cast<NodeId>(rng.range(1, max_capacity)));
+  }
+  return cap;
+}
+
+class CapacitatedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CapacitatedSeeds, GaleShapleyIsHrStable) {
+  const SeatExpansion exp(random_hr(24, 6, 5, GetParam()));
+  const auto gs = gale_shapley(exp.expanded());
+  EXPECT_TRUE(is_stable(exp.expanded(), gs.matching));
+  const auto assignment = exp.fold(gs.matching);
+  EXPECT_EQ(exp.count_blocking_pairs(assignment), 0);
+}
+
+TEST_P(CapacitatedSeeds, AsmGuaranteeTransfers) {
+  // Every HR blocking pair of the folded assignment induces at least one
+  // blocking pair of the expanded matching (free seat, or the worst
+  // occupied seat), so HR-blocking <= expanded-blocking <= eps |E_seats|.
+  const SeatExpansion exp(random_hr(30, 8, 4, GetParam() + 50));
+  core::AsmParams params;
+  params.epsilon = 0.25;
+  const auto r = core::run_asm(exp.expanded(), params);
+  validate_matching(exp.expanded(), r.matching);
+  const auto assignment = exp.fold(r.matching);
+
+  const auto expanded_blocking =
+      dasm::count_blocking_pairs(exp.expanded(), r.matching);
+  const auto hr_blocking = exp.count_blocking_pairs(assignment);
+  EXPECT_LE(hr_blocking, expanded_blocking);
+  EXPECT_LE(static_cast<double>(expanded_blocking),
+            0.25 * static_cast<double>(exp.expanded().edge_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapacitatedSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dasm

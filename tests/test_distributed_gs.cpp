@@ -1,0 +1,98 @@
+// Distributed Gale–Shapley and its truncation (the [3] baseline).
+#include "stable/distributed_gs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+#include "stable/truncated_gs.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+class DistributedGsSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributedGsSeeds, MatchesCentralizedOutcome) {
+  // The parallel proposal dynamics converge to the same man-optimal stable
+  // matching as the sequential algorithm.
+  const Instance inst = gen::complete_uniform(24, GetParam());
+  const auto dist = distributed_gale_shapley(inst);
+  const auto cent = gale_shapley(inst);
+  EXPECT_TRUE(dist.converged);
+  EXPECT_EQ(dist.matching, cent.matching);
+  EXPECT_TRUE(is_stable(inst, dist.matching));
+}
+
+TEST_P(DistributedGsSeeds, MatchesCentralizedOnIncomplete) {
+  const Instance inst = gen::incomplete_uniform(20, 20, 0.3, GetParam());
+  const auto dist = distributed_gale_shapley(inst);
+  const auto cent = gale_shapley(inst);
+  EXPECT_TRUE(dist.converged);
+  EXPECT_EQ(dist.matching, cent.matching);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedGsSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DistributedGs, CountsTwoRoundsPerSweep) {
+  const Instance inst = gen::complete_uniform(16, 9);
+  const auto r = distributed_gale_shapley(inst);
+  EXPECT_EQ(r.net.executed_rounds, 2 * r.sweeps);
+}
+
+TEST(DistributedGs, ChainNeedsLinearSweepsButStaysStable) {
+  const Instance inst = gen::gs_displacement_chain(20);
+  const auto r = distributed_gale_shapley(inst);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.sweeps, 20);
+  EXPECT_TRUE(is_stable(inst, r.matching));
+}
+
+TEST(DistributedGs, SweepBudgetTruncates) {
+  const Instance inst = gen::gs_displacement_chain(30);
+  const auto r = distributed_gale_shapley(inst, /*max_sweeps=*/5);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.sweeps, 5);
+  validate_matching(inst, r.matching);
+}
+
+TEST(TruncatedGs, BudgetRespectedAndMatchingValid) {
+  const Instance inst = gen::regular_bipartite(32, 6, 3);
+  const auto r = truncated_gale_shapley(inst, 4);
+  EXPECT_LE(r.sweeps, 4);
+  validate_matching(inst, r.matching);
+  EXPECT_THROW(truncated_gale_shapley(inst, 0), CheckError);
+}
+
+TEST(TruncatedGs, ConvergedRunsReportStability) {
+  const Instance inst = gen::complete_uniform(12, 5);
+  const auto full = distributed_gale_shapley(inst);
+  const auto r = truncated_gale_shapley(inst, full.sweeps + 5);
+  EXPECT_TRUE(r.already_stable);
+  EXPECT_TRUE(is_stable(inst, r.matching));
+}
+
+TEST(TruncatedGs, MoreSweepsNeverHurtOnBoundedLists) {
+  // The [3] regime: bounded lists, truncation quality improves with the
+  // budget (not necessarily monotonically per instance, so compare the
+  // 1-sweep and converged endpoints).
+  const Instance inst = gen::regular_bipartite(40, 5, 7);
+  const auto crude = truncated_gale_shapley(inst, 1);
+  const auto fine = truncated_gale_shapley(inst, 1000);
+  EXPECT_TRUE(fine.already_stable);
+  EXPECT_LE(count_blocking_pairs(inst, fine.matching),
+            count_blocking_pairs(inst, crude.matching));
+  EXPECT_EQ(count_blocking_pairs(inst, fine.matching), 0);
+}
+
+TEST(TruncatedGs, SweepFormulaScales) {
+  EXPECT_GT(truncation_sweeps(10, 0.1), truncation_sweeps(5, 0.1));
+  EXPECT_GT(truncation_sweeps(5, 0.05), truncation_sweeps(5, 0.1));
+  EXPECT_THROW(truncation_sweeps(0, 0.1), CheckError);
+  EXPECT_THROW(truncation_sweeps(5, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm

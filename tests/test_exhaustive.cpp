@@ -1,0 +1,115 @@
+// Exhaustive ground-truth tests on tiny instances: the stable lattice,
+// Gale–Shapley optimality, and ASM's guarantee checked against brute
+// force over ALL matchings.
+#include "stable/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+TEST(Enumerate, CountsMatchingsOfTinyCompleteInstance) {
+  // 2x2 complete: matchings = {} , 4 singletons, 2 perfect = 7.
+  const Instance inst = gen::complete_uniform(2, 1);
+  EXPECT_EQ(enumerate_matchings(inst).size(), 7u);
+}
+
+TEST(Enumerate, RejectsLargeInstances) {
+  EXPECT_THROW(enumerate_matchings(gen::complete_uniform(9, 1)), CheckError);
+}
+
+class ExhaustiveSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustiveSeeds, StableMatchingsExistAndGsIsManOptimal) {
+  const Instance inst = gen::complete_uniform(5, GetParam());
+  const auto stable = enumerate_stable_matchings(inst);
+  ASSERT_FALSE(stable.empty());  // Gale–Shapley's existence theorem
+
+  const Matching gs = gale_shapley(inst).matching;
+  // GS's output is stable...
+  bool found = false;
+  for (const auto& m : stable) found = found || (m == gs);
+  EXPECT_TRUE(found);
+  // ...and man-optimal: every man weakly prefers it to EVERY stable
+  // matching.
+  for (const auto& m : stable) {
+    EXPECT_TRUE(men_weakly_prefer(inst, gs, m));
+  }
+  // Dually, the woman-proposing run is man-pessimal.
+  const Matching gsw = gale_shapley_woman_proposing(inst).matching;
+  for (const auto& m : stable) {
+    EXPECT_TRUE(men_weakly_prefer(inst, m, gsw));
+  }
+}
+
+TEST_P(ExhaustiveSeeds, AllStableMatchingsMatchTheSamePlayers) {
+  // Rural Hospitals on incomplete tiny instances, against ALL stable
+  // matchings (not just the two GS endpoints).
+  const Instance inst = gen::incomplete_uniform(4, 4, 0.6, GetParam());
+  const auto stable = enumerate_stable_matchings(inst);
+  ASSERT_FALSE(stable.empty());
+  for (const auto& m : stable) {
+    EXPECT_EQ(m.size(), stable.front().size());
+    for (NodeId v = 0; v < inst.graph().node_count(); ++v) {
+      EXPECT_EQ(m.is_matched(v), stable.front().is_matched(v));
+    }
+  }
+}
+
+TEST_P(ExhaustiveSeeds, AsmBlockingCountIsSaneAgainstBruteForce) {
+  // On tiny instances, check ASM's output against the brute-force
+  // landscape: its blocking count can't be lower than the best matching's
+  // (0, by existence) and must satisfy Theorem 3's budget.
+  const Instance inst = gen::complete_uniform(5, GetParam() + 50);
+  core::AsmParams params;
+  params.epsilon = 0.5;
+  const auto r = core::run_asm(inst, params);
+  const auto blocking = count_blocking_pairs(inst, r.matching);
+  EXPECT_LE(static_cast<double>(blocking),
+            0.5 * static_cast<double>(inst.edge_count()));
+
+  // Cross-check the blocking count of ASM's matching against a recount
+  // over the enumerated edge set.
+  std::int64_t recount = 0;
+  for (const auto& bp : blocking_pairs(inst, r.matching)) {
+    EXPECT_TRUE(inst.man_pref(bp.man).contains(bp.woman));
+    ++recount;
+  }
+  EXPECT_EQ(recount, blocking);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Enumerate, LatticeEndpointsOnKnownInstance) {
+  // Classic 3x3 with several stable matchings; verify the lattice
+  // endpoints coincide with the two GS runs.
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1, 2});
+  men.emplace_back(std::vector<NodeId>{1, 2, 0});
+  men.emplace_back(std::vector<NodeId>{2, 0, 1});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1, 2, 0});
+  women.emplace_back(std::vector<NodeId>{2, 0, 1});
+  women.emplace_back(std::vector<NodeId>{0, 1, 2});
+  const Instance inst(std::move(men), std::move(women));
+  const auto stable = enumerate_stable_matchings(inst);
+  // This cyclic instance has exactly 3 stable matchings.
+  EXPECT_EQ(stable.size(), 3u);
+  const Matching man_opt = gale_shapley(inst).matching;
+  const Matching woman_opt = gale_shapley_woman_proposing(inst).matching;
+  EXPECT_NE(man_opt, woman_opt);
+  for (const auto& m : stable) {
+    EXPECT_TRUE(men_weakly_prefer(inst, man_opt, m));
+    EXPECT_TRUE(men_weakly_prefer(inst, m, woman_opt));
+  }
+}
+
+}  // namespace
+}  // namespace dasm

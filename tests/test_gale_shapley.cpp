@@ -1,0 +1,119 @@
+// Centralized Gale–Shapley baseline: stability, optimality structure and
+// the Rural-Hospitals invariant.
+#include "stable/gale_shapley.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+
+namespace dasm {
+namespace {
+
+NodeId partner_of_man(const Instance& inst, const Matching& m, NodeId man) {
+  const NodeId p = m.partner_of(inst.graph().man_id(man));
+  return p == kNoNode ? kNoNode : inst.graph().woman_index(p);
+}
+
+TEST(GaleShapley, ClassicThreeByThree) {
+  // A standard textbook instance with distinct man- and woman-optimal
+  // stable matchings.
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1, 2});
+  men.emplace_back(std::vector<NodeId>{1, 0, 2});
+  men.emplace_back(std::vector<NodeId>{0, 1, 2});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1, 2, 0});
+  women.emplace_back(std::vector<NodeId>{0, 2, 1});
+  women.emplace_back(std::vector<NodeId>{0, 1, 2});
+  const Instance inst(std::move(men), std::move(women));
+
+  const auto man_opt = gale_shapley(inst);
+  EXPECT_TRUE(is_stable(inst, man_opt.matching));
+  EXPECT_EQ(man_opt.matching.size(), 3);
+
+  const auto woman_opt = gale_shapley_woman_proposing(inst);
+  EXPECT_TRUE(is_stable(inst, woman_opt.matching));
+  EXPECT_EQ(woman_opt.matching.size(), 3);
+
+  // Man-optimality: every man does at least as well as under the
+  // woman-optimal matching.
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    const NodeId mine = partner_of_man(inst, man_opt.matching, m);
+    const NodeId theirs = partner_of_man(inst, woman_opt.matching, m);
+    ASSERT_NE(mine, kNoNode);
+    ASSERT_NE(theirs, kNoNode);
+    EXPECT_TRUE(mine == theirs || inst.man_pref(m).prefers(mine, theirs));
+  }
+}
+
+TEST(GaleShapley, UnanimousPreferencesAssortative) {
+  const Instance inst = gen::master_list(8, 0, 4);
+  const auto gs = gale_shapley(inst);
+  EXPECT_TRUE(is_stable(inst, gs.matching));
+  // With a unanimous master list, the unique stable matching pairs the
+  // globally i-th ranked man with the i-th ranked woman.
+  const auto woman_opt = gale_shapley_woman_proposing(inst);
+  EXPECT_EQ(gs.matching, woman_opt.matching);
+}
+
+class GaleShapleySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaleShapleySeeds, StableOnCompleteInstances) {
+  const Instance inst = gen::complete_uniform(32, GetParam());
+  const auto gs = gale_shapley(inst);
+  validate_matching(inst, gs.matching);
+  EXPECT_TRUE(is_stable(inst, gs.matching));
+  EXPECT_EQ(gs.matching.size(), 32);  // complete instances match perfectly
+  EXPECT_GE(gs.proposals, 32);
+  EXPECT_LE(gs.proposals, 32 * 32);
+}
+
+TEST_P(GaleShapleySeeds, StableOnIncompleteInstances) {
+  const Instance inst = gen::incomplete_uniform(24, 24, 0.3, GetParam());
+  const auto gs = gale_shapley(inst);
+  validate_matching(inst, gs.matching);
+  EXPECT_TRUE(is_stable(inst, gs.matching));
+}
+
+TEST_P(GaleShapleySeeds, RuralHospitalsInvariant) {
+  // With incomplete lists, the set of matched players is identical in
+  // every stable matching — in particular in the man- and woman-optimal
+  // ones.
+  const Instance inst = gen::incomplete_uniform(20, 20, 0.2, GetParam());
+  const auto a = gale_shapley(inst);
+  const auto b = gale_shapley_woman_proposing(inst);
+  EXPECT_EQ(a.matching.size(), b.matching.size());
+  for (NodeId v = 0; v < inst.graph().node_count(); ++v) {
+    EXPECT_EQ(a.matching.is_matched(v), b.matching.is_matched(v))
+        << "player node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaleShapleySeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GaleShapley, EmptyPreferenceListsStayUnmatched) {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{});
+  men.emplace_back(std::vector<NodeId>{0});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1});
+  const Instance inst(std::move(men), std::move(women));
+  const auto gs = gale_shapley(inst);
+  EXPECT_FALSE(gs.matching.is_matched(inst.graph().man_id(0)));
+  EXPECT_TRUE(gs.matching.is_matched(inst.graph().man_id(1)));
+  EXPECT_TRUE(is_stable(inst, gs.matching));
+}
+
+TEST(GaleShapley, DisplacementChainOutcome) {
+  const Instance inst = gen::gs_displacement_chain(10);
+  const auto gs = gale_shapley(inst);
+  EXPECT_TRUE(is_stable(inst, gs.matching));
+  // The destabilizer wins w_0 and the last chain man ends unmatched.
+  EXPECT_EQ(partner_of_man(inst, gs.matching, 0), 0);
+  EXPECT_FALSE(gs.matching.is_matched(inst.graph().man_id(10)));
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,232 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stable/distributed_gs.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+TEST(Generators, CompleteUniformIsComplete) {
+  const Instance inst = gen::complete_uniform(12, 3);
+  EXPECT_EQ(inst.n_men(), 12);
+  EXPECT_EQ(inst.n_women(), 12);
+  EXPECT_TRUE(inst.is_complete());
+  EXPECT_EQ(inst.edge_count(), 144);
+  EXPECT_DOUBLE_EQ(inst.regularity_alpha(), 1.0);
+}
+
+TEST(Generators, CompleteUniformSeedsAreReproducible) {
+  const Instance a = gen::complete_uniform(10, 7);
+  const Instance b = gen::complete_uniform(10, 7);
+  const Instance c = gen::complete_uniform(10, 8);
+  for (NodeId m = 0; m < 10; ++m) {
+    EXPECT_EQ(a.man_pref(m).ranked(), b.man_pref(m).ranked());
+  }
+  bool any_diff = false;
+  for (NodeId m = 0; m < 10; ++m) {
+    any_diff |= a.man_pref(m).ranked() != c.man_pref(m).ranked();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, IncompleteUniformDensity) {
+  const Instance inst = gen::incomplete_uniform(40, 40, 0.25, 5);
+  const double expected = 40.0 * 40.0 * 0.25;
+  EXPECT_GT(static_cast<double>(inst.edge_count()), 0.6 * expected);
+  EXPECT_LT(static_cast<double>(inst.edge_count()), 1.5 * expected);
+  EXPECT_FALSE(inst.is_complete());
+}
+
+TEST(Generators, IncompleteUniformExtremes) {
+  EXPECT_EQ(gen::incomplete_uniform(10, 10, 0.0, 1).edge_count(), 0);
+  const Instance full = gen::incomplete_uniform(6, 6, 1.0, 1);
+  EXPECT_TRUE(full.is_complete());
+}
+
+TEST(Generators, IncompleteUniformSupportsAsymmetricSides) {
+  const Instance inst = gen::incomplete_uniform(8, 20, 0.3, 9);
+  EXPECT_EQ(inst.n_men(), 8);
+  EXPECT_EQ(inst.n_women(), 20);
+}
+
+TEST(Generators, RegularBipartiteIsExactlyRegular) {
+  const NodeId d = 5;
+  const Instance inst = gen::regular_bipartite(16, d, 11);
+  for (NodeId m = 0; m < 16; ++m) EXPECT_EQ(inst.man_pref(m).degree(), d);
+  for (NodeId w = 0; w < 16; ++w) EXPECT_EQ(inst.woman_pref(w).degree(), d);
+  EXPECT_DOUBLE_EQ(inst.regularity_alpha(), 1.0);
+  EXPECT_EQ(inst.edge_count(), 16 * d);
+}
+
+TEST(Generators, RegularBipartiteFullDegreeIsComplete) {
+  const Instance inst = gen::regular_bipartite(6, 6, 2);
+  EXPECT_TRUE(inst.is_complete());
+}
+
+TEST(Generators, BoundedDegreeRespectsBound) {
+  const NodeId d = 4;
+  const Instance inst = gen::bounded_degree(30, d, 13);
+  for (NodeId m = 0; m < 30; ++m) {
+    EXPECT_GE(inst.man_pref(m).degree(), 1);
+    EXPECT_LE(inst.man_pref(m).degree(), d);
+  }
+  for (NodeId w = 0; w < 30; ++w) {
+    EXPECT_LE(inst.woman_pref(w).degree(), d);
+  }
+}
+
+TEST(Generators, AlmostRegularDegreesInRange) {
+  const Instance inst = gen::almost_regular(40, 4, 12, 17);
+  for (NodeId m = 0; m < 40; ++m) {
+    EXPECT_GE(inst.man_pref(m).degree(), 4);
+    EXPECT_LE(inst.man_pref(m).degree(), 12);
+  }
+  EXPECT_LE(inst.regularity_alpha(), 3.0);
+  EXPECT_GE(inst.regularity_alpha(), 1.0);
+}
+
+TEST(Generators, MasterListZeroSwapsIsUnanimous) {
+  const Instance inst = gen::master_list(9, 0, 21);
+  for (NodeId m = 1; m < 9; ++m) {
+    EXPECT_EQ(inst.man_pref(m).ranked(), inst.man_pref(0).ranked());
+  }
+  for (NodeId w = 1; w < 9; ++w) {
+    EXPECT_EQ(inst.woman_pref(w).ranked(), inst.woman_pref(0).ranked());
+  }
+  EXPECT_TRUE(inst.is_complete());
+}
+
+TEST(Generators, MasterListSwapsPerturb) {
+  const Instance inst = gen::master_list(16, 32, 23);
+  bool any_diff = false;
+  for (NodeId m = 1; m < 16; ++m) {
+    any_diff |= inst.man_pref(m).ranked() != inst.man_pref(0).ranked();
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_TRUE(inst.is_complete());
+}
+
+TEST(Generators, DisplacementChainShape) {
+  const NodeId n = 12;
+  const Instance inst = gen::gs_displacement_chain(n);
+  EXPECT_EQ(inst.n_men(), n + 1);
+  EXPECT_EQ(inst.n_women(), n);
+  // The destabilizer only ranks w_0 and is her favourite.
+  EXPECT_EQ(inst.man_pref(0).degree(), 1);
+  EXPECT_EQ(inst.woman_pref(0).at_rank(0), 0);
+  // Chain men rank their own woman first, the next one second.
+  EXPECT_EQ(inst.man_pref(3).at_rank(0), 2);
+  EXPECT_EQ(inst.man_pref(3).at_rank(1), 3);
+  EXPECT_EQ(inst.man_pref(n).degree(), 1);  // last man has no fallback
+}
+
+TEST(Generators, DisplacementChainForcesLinearSweeps) {
+  for (NodeId n : {8, 16, 32}) {
+    const Instance inst = gen::gs_displacement_chain(n);
+    const auto gs = distributed_gale_shapley(inst);
+    EXPECT_TRUE(gs.converged);
+    // One displacement per sweep: Theta(n) sweeps.
+    EXPECT_GE(gs.sweeps, n);
+    EXPECT_LE(gs.sweeps, n + 4);
+  }
+}
+
+TEST(Generators, ZipfZeroSkewIsUniformish) {
+  // s = 0: every ranking is uniform; the top choice should spread widely.
+  const Instance inst = gen::zipf_popularity(40, 0.0, 5);
+  EXPECT_TRUE(inst.is_complete());
+  std::vector<int> top_counts(40, 0);
+  for (NodeId m = 0; m < 40; ++m) {
+    ++top_counts[static_cast<std::size_t>(inst.man_pref(m).at_rank(0))];
+  }
+  int max_count = 0;
+  for (int c : top_counts) max_count = std::max(max_count, c);
+  EXPECT_LE(max_count, 10);  // no woman dominates at s = 0
+}
+
+TEST(Generators, ZipfHighSkewConcentratesTopChoices) {
+  // s = 2: almost everyone's first choice is one of the few most popular
+  // women.
+  const Instance inst = gen::zipf_popularity(40, 2.0, 5);
+  std::vector<int> top_counts(40, 0);
+  for (NodeId m = 0; m < 40; ++m) {
+    ++top_counts[static_cast<std::size_t>(inst.man_pref(m).at_rank(0))];
+  }
+  std::sort(top_counts.rbegin(), top_counts.rend());
+  EXPECT_GE(top_counts[0] + top_counts[1] + top_counts[2], 20);
+}
+
+TEST(Generators, ZipfReproducibleAndValid) {
+  const Instance a = gen::zipf_popularity(16, 1.0, 9);
+  const Instance b = gen::zipf_popularity(16, 1.0, 9);
+  for (NodeId m = 0; m < 16; ++m) {
+    EXPECT_EQ(a.man_pref(m).ranked(), b.man_pref(m).ranked());
+  }
+  EXPECT_THROW(gen::zipf_popularity(4, -0.5, 1), CheckError);
+}
+
+TEST(Generators, GeometricKnnIsProposerRegular) {
+  const Instance inst = gen::geometric_knn(40, 6, 7);
+  for (NodeId m = 0; m < 40; ++m) {
+    EXPECT_EQ(inst.man_pref(m).degree(), 6);
+  }
+  EXPECT_DOUBLE_EQ(inst.regularity_alpha(), 1.0);
+  EXPECT_EQ(inst.edge_count(), 40 * 6);
+}
+
+TEST(Generators, GeometricKnnWomenRankByCommonScore) {
+  // Every woman sorts her candidates by the same per-man rating, so any
+  // two women who both rank men a and b must order them identically.
+  const Instance inst = gen::geometric_knn(30, 5, 11);
+  for (NodeId w1 = 0; w1 < inst.n_women(); ++w1) {
+    for (NodeId w2 = w1 + 1; w2 < inst.n_women(); ++w2) {
+      const auto& p1 = inst.woman_pref(w1);
+      const auto& p2 = inst.woman_pref(w2);
+      for (NodeId a : p1.ranked()) {
+        for (NodeId b : p1.ranked()) {
+          if (a == b || !p2.contains(a) || !p2.contains(b)) continue;
+          EXPECT_EQ(p1.prefers(a, b), p2.prefers(a, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(Generators, WindowedAcquaintanceDegrees) {
+  const NodeId n = 60;
+  const NodeId window = 10;
+  const NodeId ties = 2;
+  const Instance inst = gen::windowed_acquaintance(n, window, ties, 3);
+  for (NodeId m = 0; m < n; ++m) {
+    // The window contributes 2*(window/2)+1 acquaintances; long ties can
+    // add at most `ties` more (they may collide with the window).
+    EXPECT_GE(inst.man_pref(m).degree(), window + 1);
+    EXPECT_LE(inst.man_pref(m).degree(), window + 1 + ties);
+  }
+}
+
+TEST(Generators, WindowedAcquaintanceReproducible) {
+  const Instance a = gen::windowed_acquaintance(24, 6, 1, 9);
+  const Instance b = gen::windowed_acquaintance(24, 6, 1, 9);
+  for (NodeId m = 0; m < 24; ++m) {
+    EXPECT_EQ(a.man_pref(m).ranked(), b.man_pref(m).ranked());
+  }
+}
+
+TEST(Generators, RejectsBadArguments) {
+  EXPECT_THROW(gen::complete_uniform(0, 1), CheckError);
+  EXPECT_THROW(gen::incomplete_uniform(5, 5, 1.5, 1), CheckError);
+  EXPECT_THROW(gen::regular_bipartite(4, 5, 1), CheckError);
+  EXPECT_THROW(gen::bounded_degree(4, 0, 1), CheckError);
+  EXPECT_THROW(gen::almost_regular(4, 3, 2, 1), CheckError);
+  EXPECT_THROW(gen::master_list(4, -1, 1), CheckError);
+  EXPECT_THROW(gen::gs_displacement_chain(1), CheckError);
+  EXPECT_THROW(gen::geometric_knn(4, 5, 1), CheckError);
+  EXPECT_THROW(gen::geometric_knn(4, 0, 1), CheckError);
+  EXPECT_THROW(gen::windowed_acquaintance(4, -1, 0, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm

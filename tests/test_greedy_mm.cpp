@@ -1,0 +1,56 @@
+#include "mm/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_graphs.hpp"
+
+namespace dasm {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::random_graph;
+using testing::star_graph;
+
+TEST(GreedyMm, MaximalOnFixedTopologies) {
+  for (const Graph& g : {path_graph(7), cycle_graph(8), star_graph(5),
+                         complete_graph(6), Graph(4, {})}) {
+    const Matching m = mm::greedy_maximal_matching(g);
+    EXPECT_TRUE(m.is_valid(g));
+    EXPECT_TRUE(m.is_maximal(g));
+  }
+}
+
+TEST(GreedyMm, StarMatchesExactlyOneEdge) {
+  const Graph g = star_graph(6);
+  const Matching m = mm::greedy_maximal_matching(g);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_TRUE(m.is_matched(0));
+}
+
+TEST(GreedyMm, DeterministicOrderIsReproducible) {
+  const Graph g = random_graph(40, 0.2, 5);
+  EXPECT_EQ(mm::greedy_maximal_matching(g), mm::greedy_maximal_matching(g));
+}
+
+class GreedyMmRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyMmRandomized, RandomOrderStaysMaximal) {
+  const Graph g = random_graph(60, 0.1, GetParam());
+  Xoshiro256 rng(GetParam());
+  const Matching m = mm::greedy_maximal_matching(g, rng);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_TRUE(m.is_maximal(g));
+  // A maximal matching is a 2-approximation of the maximum matching, so
+  // any two maximal matchings differ in size by at most a factor of 2.
+  const Matching det = mm::greedy_maximal_matching(g);
+  EXPECT_GE(2 * m.size(), det.size());
+  EXPECT_GE(2 * det.size(), m.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyMmRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,85 @@
+#include "stable/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+Instance tiny_instance() {
+  // 2 men, 2 women, complete symmetric preferences.
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1});
+  men.emplace_back(std::vector<NodeId>{1, 0});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1, 0});
+  women.emplace_back(std::vector<NodeId>{0, 1});
+  return Instance(std::move(men), std::move(women));
+}
+
+TEST(InstanceTest, BasicAccessors) {
+  const Instance inst = tiny_instance();
+  EXPECT_EQ(inst.n_men(), 2);
+  EXPECT_EQ(inst.n_women(), 2);
+  EXPECT_EQ(inst.edge_count(), 4);
+  EXPECT_TRUE(inst.is_complete());
+  EXPECT_DOUBLE_EQ(inst.regularity_alpha(), 1.0);
+  EXPECT_EQ(inst.man_pref(0).at_rank(0), 0);
+  EXPECT_EQ(inst.woman_pref(0).at_rank(0), 1);
+  EXPECT_TRUE(inst.graph().graph().has_edge(0, 2));
+}
+
+TEST(InstanceTest, RejectsAsymmetry) {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{});  // woman does not rank man 0
+  EXPECT_THROW(Instance(std::move(men), std::move(women)), CheckError);
+
+  std::vector<PreferenceList> men2;
+  men2.emplace_back(std::vector<NodeId>{});
+  std::vector<PreferenceList> women2;
+  women2.emplace_back(std::vector<NodeId>{0});
+  EXPECT_THROW(Instance(std::move(men2), std::move(women2)), CheckError);
+}
+
+TEST(InstanceTest, RejectsOutOfRangePartner) {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{5});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{});
+  EXPECT_THROW(Instance(std::move(men), std::move(women)), CheckError);
+}
+
+TEST(InstanceTest, IncompleteIsDetected) {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0});
+  men.emplace_back(std::vector<NodeId>{});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{0});
+  const Instance inst(std::move(men), std::move(women));
+  EXPECT_FALSE(inst.is_complete());
+  EXPECT_EQ(inst.edge_count(), 1);
+}
+
+TEST(InstanceTest, AlphaIgnoresZeroDegreeMen) {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1});
+  men.emplace_back(std::vector<NodeId>{});  // unranked man: skipped
+  men.emplace_back(std::vector<NodeId>{0});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{0, 2});
+  women.emplace_back(std::vector<NodeId>{0});
+  const Instance inst(std::move(men), std::move(women));
+  EXPECT_DOUBLE_EQ(inst.regularity_alpha(), 2.0);
+}
+
+TEST(InstanceTest, AccessorsValidateIndices) {
+  const Instance inst = tiny_instance();
+  EXPECT_THROW(inst.man_pref(2), CheckError);
+  EXPECT_THROW(inst.woman_pref(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm

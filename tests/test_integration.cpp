@@ -1,0 +1,119 @@
+// Cross-module integration: ASM variants vs. the exact baselines on the
+// same instances, end to end.
+#include <gtest/gtest.h>
+
+#include "core/almost_regular_asm.hpp"
+#include "core/engine.hpp"
+#include "core/rand_asm.hpp"
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/distributed_gs.hpp"
+#include "stable/gale_shapley.hpp"
+#include "stable/truncated_gs.hpp"
+
+namespace dasm {
+namespace {
+
+TEST(Integration, AllAlgorithmsProduceValidMatchingsOnOneInstance) {
+  const Instance inst = gen::incomplete_uniform(48, 48, 0.3, 12);
+
+  const auto gs = gale_shapley(inst);
+  const auto dgs = distributed_gale_shapley(inst);
+  const auto tgs = truncated_gale_shapley(inst, 3);
+  core::AsmParams ap;
+  const auto asm_r = core::run_asm(inst, ap);
+  core::RandAsmParams rp;
+  const auto rand_r = core::run_rand_asm(inst, rp);
+  core::AlmostRegularAsmParams arp;
+  const auto ar_r = core::run_almost_regular_asm(inst, arp);
+
+  for (const Matching* m :
+       {&gs.matching, &dgs.matching, &tgs.matching, &asm_r.matching,
+        &rand_r.matching, &ar_r.matching}) {
+    EXPECT_GT(validate_matching(inst, *m), 0);
+  }
+  EXPECT_TRUE(is_stable(inst, gs.matching));
+  EXPECT_TRUE(is_stable(inst, dgs.matching));
+}
+
+TEST(Integration, AsmMatchingSizeIsComparableToStable) {
+  // ASM's matching is maximal-flavoured: on complete instances everyone
+  // good implies a perfect matching, and in general it should not be
+  // drastically smaller than the stable matching size.
+  const Instance inst = gen::complete_uniform(64, 8);
+  const auto asm_r = core::run_asm(inst, core::AsmParams{});
+  const auto gs = gale_shapley(inst);
+  EXPECT_GE(2 * asm_r.matching.size(), gs.matching.size());
+}
+
+TEST(Integration, ApproximationBuysRoundsOnTheChain) {
+  // E9's shape on a single point: exact stability inherently costs
+  // Theta(n) rounds on the displacement chain (one displacement per
+  // sweep), while the (1 - eps) guarantee is met by ASM under a tiny
+  // round budget — the approximation is what buys the round complexity.
+  const Instance inst = gen::gs_displacement_chain(256);
+  const auto dgs = distributed_gale_shapley(inst);
+  EXPECT_GE(dgs.net.executed_rounds, 2 * 256);
+  EXPECT_TRUE(is_stable(inst, dgs.matching));
+
+  core::AsmParams params;
+  params.epsilon = 0.25;
+  params.max_rounds = 64;  // ~ an eighth of what exact stability needs
+  const auto asm_r = core::run_asm(inst, params);
+  EXPECT_LE(asm_r.net.executed_rounds, 64 + 16);  // cap + one round trip
+  EXPECT_LE(
+      static_cast<double>(count_blocking_pairs(inst, asm_r.matching)),
+      0.25 * static_cast<double>(inst.edge_count()));
+}
+
+TEST(Integration, TruncatedGsFailsWhereAsmSucceeds) {
+  // On the chain, a constant truncation leaves the cascade unresolved and
+  // blocking pairs behind; ASM's guarantee still holds.
+  const Instance inst = gen::gs_displacement_chain(128);
+  const auto tgs = truncated_gale_shapley(inst, 4);
+  EXPECT_FALSE(tgs.already_stable);
+
+  const auto asm_r = core::run_asm(inst, core::AsmParams{});
+  const auto asm_bp = count_blocking_pairs(inst, asm_r.matching);
+  EXPECT_LE(static_cast<double>(asm_bp),
+            0.25 * static_cast<double>(inst.edge_count()));
+}
+
+TEST(Integration, DeterministicAndRandomizedAgreeOnGuarantee) {
+  const Instance inst = gen::regular_bipartite(48, 12, 5);
+  const double eps = 0.25;
+  core::AsmParams dp;
+  dp.epsilon = eps;
+  core::RandAsmParams rp;
+  rp.epsilon = eps;
+  const auto det = core::run_asm(inst, dp);
+  const auto rnd = core::run_rand_asm(inst, rp);
+  const double budget = eps * static_cast<double>(inst.edge_count());
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, det.matching)),
+            budget);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, rnd.matching)),
+            budget);
+}
+
+TEST(Integration, GoodMenDominateOnEveryFamily) {
+  // The whole point of the schedule: almost every man ends good.
+  for (int fam = 0; fam < 4; ++fam) {
+    const Instance inst = [&] {
+      switch (fam) {
+        case 0:
+          return gen::complete_uniform(64, 3);
+        case 1:
+          return gen::incomplete_uniform(64, 64, 0.2, 3);
+        case 2:
+          return gen::regular_bipartite(64, 8, 3);
+        default:
+          return gen::master_list(64, 64, 3);
+      }
+    }();
+    const auto r = core::run_asm(inst, core::AsmParams{});
+    EXPECT_GE(r.good_count, (9 * inst.n_men()) / 10) << "family " << fam;
+  }
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,128 @@
+#include "stable/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+void expect_same_instance(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.n_men(), b.n_men());
+  ASSERT_EQ(a.n_women(), b.n_women());
+  for (NodeId m = 0; m < a.n_men(); ++m) {
+    EXPECT_EQ(a.man_pref(m).ranked(), b.man_pref(m).ranked());
+  }
+  for (NodeId w = 0; w < a.n_women(); ++w) {
+    EXPECT_EQ(a.woman_pref(w).ranked(), b.woman_pref(w).ranked());
+  }
+}
+
+TEST(InstanceIo, RoundTripsAllFamilies) {
+  for (const Instance& inst :
+       {gen::complete_uniform(12, 1), gen::incomplete_uniform(10, 14, 0.3, 2),
+        gen::gs_displacement_chain(6)}) {
+    std::stringstream ss;
+    save_instance(ss, inst);
+    const Instance back = load_instance(ss);
+    expect_same_instance(inst, back);
+  }
+}
+
+TEST(InstanceIo, EmptyListsSurviveRoundTrip) {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{});
+  men.emplace_back(std::vector<NodeId>{0});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1});
+  const Instance inst(std::move(men), std::move(women));
+  std::stringstream ss;
+  save_instance(ss, inst);
+  const Instance back = load_instance(ss);
+  expect_same_instance(inst, back);
+}
+
+TEST(InstanceIo, RejectsGarbage) {
+  std::stringstream bad_magic("not-an-instance 1");
+  EXPECT_THROW(load_instance(bad_magic), CheckError);
+
+  std::stringstream truncated("dasm-instance 1\nmen 2 women 2\nm 0 : 0\n");
+  EXPECT_THROW(load_instance(truncated), CheckError);
+
+  std::stringstream out_of_order(
+      "dasm-instance 1\nmen 2 women 0\nm 1 : \nm 0 : \n");
+  EXPECT_THROW(load_instance(out_of_order), CheckError);
+
+  // Asymmetric preferences are caught by the Instance invariant itself.
+  std::stringstream asymmetric(
+      "dasm-instance 1\nmen 1 women 1\nm 0 : 0\nw 0 :\n");
+  EXPECT_THROW(load_instance(asymmetric), CheckError);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const Instance inst = gen::regular_bipartite(8, 3, 5);
+  const std::string path = ::testing::TempDir() + "/dasm_io_test.txt";
+  save_instance_file(path, inst);
+  const Instance back = load_instance_file(path);
+  expect_same_instance(inst, back);
+  EXPECT_THROW(load_instance_file("/nonexistent/nope.txt"), CheckError);
+}
+
+TEST(MatchingIo, RoundTrip) {
+  const Instance inst = gen::complete_uniform(10, 3);
+  const Matching m = gale_shapley(inst).matching;
+  std::stringstream ss;
+  save_matching(ss, inst, m);
+  const Matching back = load_matching(ss, inst);
+  EXPECT_EQ(m, back);
+}
+
+TEST(MatchingIo, RejectsBadIndices) {
+  const Instance inst = gen::complete_uniform(4, 3);
+  std::stringstream ss("dasm-matching 1\npairs 1\n9 0\n");
+  EXPECT_THROW(load_matching(ss, inst), CheckError);
+}
+
+TEST(Transpose, SwapsRoles) {
+  const Instance inst = gen::incomplete_uniform(8, 12, 0.4, 7);
+  const Instance t = transpose(inst);
+  EXPECT_EQ(t.n_men(), inst.n_women());
+  EXPECT_EQ(t.n_women(), inst.n_men());
+  EXPECT_EQ(t.edge_count(), inst.edge_count());
+  for (NodeId w = 0; w < inst.n_women(); ++w) {
+    EXPECT_EQ(t.man_pref(w).ranked(), inst.woman_pref(w).ranked());
+  }
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const Instance inst = gen::complete_uniform(9, 11);
+  expect_same_instance(inst, transpose(transpose(inst)));
+}
+
+TEST(Transpose, WomanProposingGsViaTranspose) {
+  // Running man-proposing GS on the transpose equals woman-proposing GS on
+  // the original, modulo the node-id relabeling.
+  const Instance inst = gen::complete_uniform(12, 13);
+  const Instance t = transpose(inst);
+  const auto direct = gale_shapley_woman_proposing(inst);
+  const auto via_t = gale_shapley(t);
+  EXPECT_EQ(direct.matching.size(), via_t.matching.size());
+  for (NodeId w = 0; w < inst.n_women(); ++w) {
+    const NodeId p_direct =
+        direct.matching.partner_of(inst.graph().woman_id(w));
+    const NodeId p_via = via_t.matching.partner_of(t.graph().man_id(w));
+    const NodeId direct_man =
+        p_direct == kNoNode ? kNoNode : inst.graph().man_index(p_direct);
+    const NodeId via_man =
+        p_via == kNoNode ? kNoNode : t.graph().woman_index(p_via);
+    EXPECT_EQ(direct_man, via_man);
+  }
+}
+
+}  // namespace
+}  // namespace dasm

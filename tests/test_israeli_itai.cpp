@@ -1,0 +1,145 @@
+// Israeli–Itai randomized maximal matching (Appendix A): protocol-level
+// correctness and the Lemma-8 decay behaviour.
+#include "mm/israeli_itai.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mm/runner.hpp"
+#include "testing_graphs.hpp"
+#include "util/stats.hpp"
+
+namespace dasm {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::random_bipartite;
+using testing::random_graph;
+using testing::star_graph;
+
+mm::RunConfig ii_config(std::uint64_t seed, int max_iters = 0) {
+  mm::RunConfig c;
+  c.backend = mm::Backend::kIsraeliItai;
+  c.seed = seed;
+  c.max_iterations = max_iters;
+  return c;
+}
+
+TEST(IsraeliItai, MaximalAtQuiescenceOnFixedTopologies) {
+  for (const Graph& g : {path_graph(9), cycle_graph(10), star_graph(7),
+                         complete_graph(8)}) {
+    const auto r = mm::run_maximal_matching(g, {}, ii_config(3));
+    EXPECT_TRUE(r.matching.is_valid(g));
+    EXPECT_TRUE(r.maximal);
+    EXPECT_TRUE(r.matching.is_maximal(g));
+  }
+}
+
+TEST(IsraeliItai, EmptyAndEdgelessGraphs) {
+  const auto r0 = mm::run_maximal_matching(Graph(0), {}, ii_config(1));
+  EXPECT_EQ(r0.matching.size(), 0);
+  EXPECT_TRUE(r0.maximal);
+  const auto r1 = mm::run_maximal_matching(Graph(5, {}), {}, ii_config(1));
+  EXPECT_EQ(r1.matching.size(), 0);
+  EXPECT_TRUE(r1.maximal);
+  EXPECT_EQ(r1.iterations_executed, 0);
+}
+
+TEST(IsraeliItai, SingleEdgeMatchesImmediately) {
+  const Graph g(2, {{0, 1}});
+  const auto r = mm::run_maximal_matching(g, {}, ii_config(5));
+  EXPECT_EQ(r.matching.size(), 1);
+  EXPECT_EQ(r.iterations_executed, 1);
+  // One MatchingRound is four communication rounds.
+  EXPECT_EQ(r.net.executed_rounds, 4);
+}
+
+TEST(IsraeliItai, ReproducibleBySeed) {
+  const Graph g = random_graph(50, 0.15, 11);
+  const auto a = mm::run_maximal_matching(g, {}, ii_config(42));
+  const auto b = mm::run_maximal_matching(g, {}, ii_config(42));
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.net.executed_rounds, b.net.executed_rounds);
+  const auto c = mm::run_maximal_matching(g, {}, ii_config(43));
+  // Different seed: almost surely a different execution.
+  EXPECT_NE(a.net.messages, c.net.messages);
+}
+
+class IsraeliItaiSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsraeliItaiSeeds, MaximalOnRandomGraphs) {
+  const Graph g = random_graph(80, 0.08, GetParam());
+  const auto r = mm::run_maximal_matching(g, {}, ii_config(GetParam() + 100));
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_TRUE(r.maximal);
+}
+
+TEST_P(IsraeliItaiSeeds, MaximalOnRandomBipartiteGraphs) {
+  const auto [g, is_left] = random_bipartite(40, 40, 0.1, GetParam());
+  const auto r = mm::run_maximal_matching(g, is_left, ii_config(GetParam()));
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_TRUE(r.maximal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsraeliItaiSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(IsraeliItai, TruncationRespectsBudget) {
+  const Graph g = random_graph(100, 0.1, 17);
+  const auto r = mm::run_maximal_matching(g, {}, ii_config(17, 1));
+  EXPECT_LE(r.iterations_executed, 1);
+  EXPECT_LE(r.net.executed_rounds, 4);
+  EXPECT_TRUE(r.matching.is_valid(g));
+}
+
+TEST(IsraeliItai, LiveVertexCountIsNonIncreasing) {
+  const Graph g = random_graph(120, 0.08, 23);
+  const auto r = mm::run_maximal_matching(g, {}, ii_config(23));
+  for (std::size_t i = 1; i < r.live_after_iteration.size(); ++i) {
+    EXPECT_LE(r.live_after_iteration[i], r.live_after_iteration[i - 1]);
+  }
+  if (!r.live_after_iteration.empty()) {
+    EXPECT_EQ(r.live_after_iteration.back(), 0);
+  }
+}
+
+TEST(IsraeliItai, GeometricDecayOnAverage) {
+  // Lemma 8: E|V_{i+1}| <= c |V_i| for an absolute constant c < 1. Measure
+  // the average one-iteration decay over several seeds on a dense graph.
+  Summary decay;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = random_graph(200, 0.05, seed);
+    const auto r = mm::run_maximal_matching(g, {}, ii_config(seed));
+    std::int64_t prev = g.node_count();
+    for (const auto live : r.live_after_iteration) {
+      if (prev > 20) {  // skip the noisy tail
+        decay.add(static_cast<double>(live) / static_cast<double>(prev));
+      }
+      prev = live;
+    }
+  }
+  EXPECT_GT(decay.count(), 10u);
+  EXPECT_LT(decay.mean(), 0.9);
+}
+
+TEST(IsraeliItai, RoundsScaleLogarithmically) {
+  // Corollary 1: O(log n) MatchingRounds suffice whp. Check that measured
+  // iterations on doubling sizes grow far slower than linearly.
+  std::vector<double> iters;
+  for (NodeId n : {64, 128, 256, 512}) {
+    Summary s;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const Graph g = random_graph(n, 8.0 / n, seed + 1);
+      const auto r = mm::run_maximal_matching(g, {}, ii_config(seed));
+      EXPECT_TRUE(r.maximal);
+      s.add(static_cast<double>(r.iterations_executed));
+    }
+    iters.push_back(s.mean());
+  }
+  // 8x the vertices should cost far less than 8x the iterations.
+  EXPECT_LT(iters.back(), 4.0 * iters.front());
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,104 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+Graph path4() { return Graph(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+TEST(MatchingTest, AddAndPartner) {
+  Matching m(4);
+  m.add(0, 1);
+  EXPECT_TRUE(m.is_matched(0));
+  EXPECT_TRUE(m.is_matched(1));
+  EXPECT_FALSE(m.is_matched(2));
+  EXPECT_EQ(m.partner_of(0), 1);
+  EXPECT_EQ(m.partner_of(1), 0);
+  EXPECT_EQ(m.partner_of(2), kNoNode);
+  EXPECT_EQ(m.size(), 1);
+}
+
+TEST(MatchingTest, RemoveRestoresUnmatched) {
+  Matching m(4);
+  m.add(0, 1);
+  m.remove(1);
+  EXPECT_FALSE(m.is_matched(0));
+  EXPECT_FALSE(m.is_matched(1));
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_THROW(m.remove(1), CheckError);
+}
+
+TEST(MatchingTest, RejectsDoubleMatch) {
+  Matching m(4);
+  m.add(0, 1);
+  EXPECT_THROW(m.add(1, 2), CheckError);
+  EXPECT_THROW(m.add(0, 2), CheckError);
+  EXPECT_THROW(m.add(2, 2), CheckError);
+}
+
+TEST(MatchingTest, EdgesNormalized) {
+  Matching m(4);
+  m.add(3, 2);
+  m.add(1, 0);
+  const auto edges = m.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{2, 3}));
+}
+
+TEST(MatchingTest, ValidityAgainstGraph) {
+  const Graph g = path4();
+  Matching m(4);
+  m.add(0, 1);
+  EXPECT_TRUE(m.is_valid(g));
+  Matching bad(4);
+  bad.add(0, 3);  // not an edge of the path
+  EXPECT_FALSE(bad.is_valid(g));
+  Matching wrong_size(3);
+  EXPECT_FALSE(wrong_size.is_valid(g));
+}
+
+TEST(MatchingTest, MaximalityOnPath) {
+  const Graph g = path4();
+  Matching middle(4);
+  middle.add(1, 2);  // maximal: 0 and 3 have no unmatched neighbours
+  EXPECT_TRUE(middle.is_maximal(g));
+  EXPECT_TRUE(middle.unsatisfied_vertices(g).empty());
+
+  Matching end_only(4);
+  end_only.add(0, 1);  // not maximal: edge (2,3) is free
+  EXPECT_FALSE(end_only.is_maximal(g));
+  const auto bad = end_only.unsatisfied_vertices(g);
+  EXPECT_EQ(bad, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(MatchingTest, EmptyMatchingOnEdgelessGraphIsMaximal) {
+  Graph g(3, {});
+  Matching m(3);
+  EXPECT_TRUE(m.is_maximal(g));
+}
+
+TEST(MatchingTest, AlmostMaximalThreshold) {
+  const Graph g = path4();
+  Matching end_only(4);
+  end_only.add(0, 1);  // 2 of 4 vertices unsatisfied
+  EXPECT_TRUE(end_only.is_almost_maximal(g, 0.5));
+  EXPECT_FALSE(end_only.is_almost_maximal(g, 0.25));
+  EXPECT_TRUE(end_only.is_almost_maximal(g, 1.0));
+}
+
+TEST(MatchingTest, EqualityComparable) {
+  Matching a(3);
+  Matching b(3);
+  EXPECT_EQ(a, b);
+  a.add(0, 1);
+  EXPECT_NE(a, b);
+  b.add(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,79 @@
+#include "stable/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "stable/gale_shapley.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+Instance two_by_two() {
+  std::vector<PreferenceList> men;
+  men.emplace_back(std::vector<NodeId>{0, 1});
+  men.emplace_back(std::vector<NodeId>{0, 1});
+  std::vector<PreferenceList> women;
+  women.emplace_back(std::vector<NodeId>{1, 0});
+  women.emplace_back(std::vector<NodeId>{1, 0});
+  return Instance(std::move(men), std::move(women));
+}
+
+TEST(Metrics, HandComputedValues) {
+  const Instance inst = two_by_two();
+  Matching m(inst.graph().node_count());
+  // m0 - w1 (his rank 2, her rank 2), m1 - w0 (his rank 1, her rank 1).
+  m.add(inst.graph().man_id(0), inst.graph().woman_id(1));
+  m.add(inst.graph().man_id(1), inst.graph().woman_id(0));
+  const auto metrics = compute_metrics(inst, m);
+  EXPECT_EQ(metrics.matched_pairs, 2);
+  EXPECT_EQ(metrics.unmatched_men, 0);
+  EXPECT_EQ(metrics.unmatched_women, 0);
+  EXPECT_EQ(metrics.men_rank_sum, 3);
+  EXPECT_EQ(metrics.women_rank_sum, 3);
+  EXPECT_EQ(metrics.egalitarian_cost, 6);
+  EXPECT_EQ(metrics.sex_equality_cost, 0);
+  EXPECT_EQ(metrics.men_regret, 2);
+  EXPECT_EQ(metrics.women_regret, 2);
+  EXPECT_DOUBLE_EQ(metrics.mean_man_rank(), 1.5);
+}
+
+TEST(Metrics, UnmatchedPlayersCounted) {
+  const Instance inst = two_by_two();
+  Matching m(inst.graph().node_count());
+  m.add(inst.graph().man_id(0), inst.graph().woman_id(0));
+  const auto metrics = compute_metrics(inst, m);
+  EXPECT_EQ(metrics.matched_pairs, 1);
+  EXPECT_EQ(metrics.unmatched_men, 1);
+  EXPECT_EQ(metrics.unmatched_women, 1);
+  EXPECT_EQ(metrics.men_rank_sum, 1);
+  EXPECT_EQ(metrics.women_rank_sum, 2);  // w0 ranks m1 first, m0 second
+}
+
+TEST(Metrics, EmptyMatching) {
+  const Instance inst = two_by_two();
+  const auto metrics =
+      compute_metrics(inst, Matching(inst.graph().node_count()));
+  EXPECT_EQ(metrics.matched_pairs, 0);
+  EXPECT_EQ(metrics.egalitarian_cost, 0);
+  EXPECT_DOUBLE_EQ(metrics.mean_man_rank(), 0.0);
+}
+
+TEST(Metrics, ManOptimalFavoursMen) {
+  // Man-proposing GS minimizes men's ranks over all stable matchings, so
+  // against the woman-optimal matching: men's sum <=, women's sum >=.
+  const Instance inst = gen::complete_uniform(32, 9);
+  const auto man_opt = compute_metrics(inst, gale_shapley(inst).matching);
+  const auto woman_opt =
+      compute_metrics(inst, gale_shapley_woman_proposing(inst).matching);
+  EXPECT_LE(man_opt.men_rank_sum, woman_opt.men_rank_sum);
+  EXPECT_GE(man_opt.women_rank_sum, woman_opt.women_rank_sum);
+}
+
+TEST(Metrics, RejectsWrongNodeSpace) {
+  const Instance inst = two_by_two();
+  EXPECT_THROW(compute_metrics(inst, Matching(3)), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm

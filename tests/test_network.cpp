@@ -1,0 +1,246 @@
+#include "congest/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+std::vector<std::vector<NodeId>> triangle() {
+  return {{1, 2}, {0, 2}, {0, 1}};
+}
+
+TEST(MessageTest, EncodedBitsGrowWithPayload) {
+  EXPECT_EQ((Message{MsgType::kPropose}).encoded_bits(), 8);
+  EXPECT_GT((Message{MsgType::kPropose, 5}).encoded_bits(), 8);
+  EXPECT_GT((Message{MsgType::kPropose, 1 << 20}).encoded_bits(),
+            (Message{MsgType::kPropose, 5}).encoded_bits());
+  // Negative payloads cost the same as their magnitude plus the sign bit.
+  EXPECT_EQ((Message{MsgType::kPropose, -5}).encoded_bits(),
+            (Message{MsgType::kPropose, 5}).encoded_bits());
+}
+
+TEST(MessageTest, DebugStrings) {
+  EXPECT_STREQ(to_string(MsgType::kAccept), "ACCEPT");
+  EXPECT_STREQ(to_string(MsgType::kMmPick), "MM_PICK");
+  EXPECT_EQ(to_debug_string(Message{MsgType::kReject, 3, 4}), "REJECT(3,4)");
+}
+
+TEST(NetworkTest, DeliversAfterEndRound) {
+  Network net(triangle());
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  EXPECT_TRUE(net.inbox(1).empty());  // not yet delivered
+  net.end_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0);
+  EXPECT_EQ(net.inbox(1)[0].msg.type, MsgType::kPropose);
+  EXPECT_TRUE(net.inbox(0).empty());
+  EXPECT_TRUE(net.inbox(2).empty());
+}
+
+TEST(NetworkTest, InboxReplacedEachRound) {
+  Network net(triangle());
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.end_round();
+  net.begin_round();
+  net.end_round();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(NetworkTest, RejectsNonEdgeSend) {
+  Network net({{1}, {0}, {}});  // node 2 isolated
+  net.begin_round();
+  EXPECT_THROW(net.send(0, 2, Message{MsgType::kPropose}), CheckError);
+}
+
+TEST(NetworkTest, RejectsDoubleSendOnDirectedEdge) {
+  Network net(triangle());
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  EXPECT_THROW(net.send(0, 1, Message{MsgType::kAccept}), CheckError);
+  // The reverse direction and the next round are both fine.
+  net.send(1, 0, Message{MsgType::kAccept});
+  net.end_round();
+  net.begin_round();
+  EXPECT_NO_THROW(net.send(0, 1, Message{MsgType::kPropose}));
+  net.end_round();
+}
+
+TEST(NetworkTest, RejectsSendOutsideRound) {
+  Network net(triangle());
+  EXPECT_THROW(net.send(0, 1, Message{MsgType::kPropose}), CheckError);
+}
+
+TEST(NetworkTest, RejectsUnbalancedRoundCalls) {
+  Network net(triangle());
+  net.begin_round();
+  EXPECT_THROW(net.begin_round(), CheckError);
+  net.end_round();
+  EXPECT_THROW(net.end_round(), CheckError);
+}
+
+TEST(NetworkTest, EnforcesBitBudget) {
+  Network net(triangle(), /*message_bit_budget=*/16);
+  net.begin_round();
+  EXPECT_NO_THROW(net.send(0, 1, Message{MsgType::kPropose, 3}));
+  EXPECT_THROW(net.send(0, 2, Message{MsgType::kPropose, 1LL << 40}),
+               CheckError);
+}
+
+TEST(NetworkTest, DefaultBudgetScalesLogarithmically) {
+  Network small(triangle());
+  std::vector<std::vector<NodeId>> big(1 << 16);
+  for (std::size_t v = 0; v + 1 < big.size(); v += 2) {
+    big[v].push_back(static_cast<NodeId>(v + 1));
+    big[v + 1].push_back(static_cast<NodeId>(v));
+  }
+  Network large(big);
+  EXPECT_GT(large.message_bit_budget(), small.message_bit_budget());
+  EXPECT_LE(large.message_bit_budget(), 8 * 17);
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  Network net(triangle());
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.send(2, 1, Message{MsgType::kAccept, 9});
+  net.end_round();
+  const auto& s = net.stats();
+  EXPECT_EQ(s.executed_rounds, 1);
+  EXPECT_EQ(s.scheduled_rounds, 1);
+  EXPECT_EQ(s.messages, 2);
+  EXPECT_GT(s.bits, 16);
+  EXPECT_GE(s.max_message_bits, 8);
+}
+
+TEST(NetworkTest, PerTypeTrafficBreakdown) {
+  Network net(triangle());
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.send(0, 2, Message{MsgType::kPropose});
+  net.send(1, 0, Message{MsgType::kReject});
+  net.end_round();
+  EXPECT_EQ(net.stats().count_of(MsgType::kPropose), 2);
+  EXPECT_EQ(net.stats().count_of(MsgType::kReject), 1);
+  EXPECT_EQ(net.stats().count_of(MsgType::kAccept), 0);
+}
+
+TEST(NetworkTest, InboxPreservesSendOrder) {
+  // Protocol determinism relies on envelopes arriving in the order the
+  // senders were stepped within the round.
+  Network net(triangle());
+  net.begin_round();
+  net.send(0, 2, Message{MsgType::kPropose, 1});
+  net.send(1, 2, Message{MsgType::kPropose, 2});
+  net.end_round();
+  ASSERT_EQ(net.inbox(2).size(), 2u);
+  EXPECT_EQ(net.inbox(2)[0].from, 0);
+  EXPECT_EQ(net.inbox(2)[1].from, 1);
+}
+
+TEST(NetworkTest, HighVolumeStress) {
+  // A complete bipartite 40+40 network for 50 all-pairs rounds: 160k
+  // messages with the per-edge discipline enforced throughout.
+  const NodeId half = 40;
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(2 * half));
+  for (NodeId u = 0; u < half; ++u) {
+    for (NodeId v = 0; v < half; ++v) {
+      adj[static_cast<std::size_t>(u)].push_back(half + v);
+      adj[static_cast<std::size_t>(half + v)].push_back(u);
+    }
+  }
+  Network net(adj);
+  for (int r = 0; r < 50; ++r) {
+    net.begin_round();
+    for (NodeId u = 0; u < half; ++u) {
+      for (NodeId v = 0; v < half; ++v) {
+        net.send(u, half + v, Message{MsgType::kPropose, r});
+      }
+    }
+    net.end_round();
+    for (NodeId v = 0; v < half; ++v) {
+      ASSERT_EQ(net.inbox(half + v).size(), static_cast<std::size_t>(half));
+    }
+  }
+  EXPECT_EQ(net.stats().messages, 50LL * half * half);
+  EXPECT_EQ(net.stats().executed_rounds, 50);
+}
+
+TEST(NetworkTest, TraceRecordsTransmissions) {
+  Network net(triangle());
+  net.enable_trace(8);
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.end_round();
+  net.begin_round();
+  net.send(1, 0, Message{MsgType::kAccept});
+  net.end_round();
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_EQ(net.trace()[0], (TraceEvent{0, 0, 1, Message{MsgType::kPropose}}));
+  EXPECT_EQ(net.trace()[1], (TraceEvent{1, 1, 0, Message{MsgType::kAccept}}));
+  EXPECT_EQ(net.dropped_trace_events(), 0);
+}
+
+TEST(NetworkTest, TraceCapDropsOldest) {
+  Network net(triangle());
+  net.enable_trace(2);
+  for (int i = 0; i < 3; ++i) {
+    net.begin_round();
+    net.send(0, 1, Message{MsgType::kPropose, i});
+    net.end_round();
+  }
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_EQ(net.dropped_trace_events(), 1);
+  EXPECT_EQ(net.trace()[0].msg.a, 1);  // event 0 was dropped
+  net.enable_trace(0);
+  EXPECT_TRUE(net.trace().empty());
+}
+
+TEST(NetworkTest, ChargeScheduledRounds) {
+  Network net(triangle());
+  net.begin_round();
+  net.end_round();
+  net.charge_scheduled_rounds(10);
+  EXPECT_EQ(net.stats().executed_rounds, 1);
+  EXPECT_EQ(net.stats().scheduled_rounds, 11);
+  EXPECT_THROW(net.charge_scheduled_rounds(-1), CheckError);
+}
+
+TEST(NetworkTest, SilentRoundFlag) {
+  Network net(triangle());
+  net.begin_round();
+  net.end_round();
+  EXPECT_TRUE(net.last_round_was_silent());
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.end_round();
+  EXPECT_FALSE(net.last_round_was_silent());
+}
+
+TEST(NetworkTest, RejectsAsymmetricAdjacency) {
+  const std::vector<std::vector<NodeId>> asymmetric{{1}, {}};
+  EXPECT_THROW((void)Network(asymmetric), CheckError);
+}
+
+TEST(NetworkTest, RejectsSelfLoopAndDuplicates) {
+  const std::vector<std::vector<NodeId>> self_loop{{0}};
+  EXPECT_THROW((void)Network(self_loop), CheckError);
+  const std::vector<std::vector<NodeId>> duplicate{{1, 1}, {0}};
+  EXPECT_THROW((void)Network(duplicate), CheckError);
+}
+
+TEST(NetworkTest, HasEdgeQueries) {
+  Network net(triangle());
+  EXPECT_TRUE(net.has_edge(0, 1));
+  EXPECT_TRUE(net.has_edge(1, 0));
+  EXPECT_FALSE(net.has_edge(0, 0));
+  EXPECT_FALSE(net.has_edge(0, 99));
+  EXPECT_EQ(net.node_count(), 3);
+  EXPECT_EQ(net.neighbors(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,111 @@
+// Deterministic pointer-greedy maximal matching (the HKP substitution slot;
+// see DESIGN.md §2).
+#include "mm/pointer_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mm/greedy.hpp"
+#include "mm/runner.hpp"
+#include "testing_graphs.hpp"
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+using testing::random_bipartite;
+
+mm::RunConfig pg_config() {
+  mm::RunConfig c;
+  c.backend = mm::Backend::kPointerGreedy;
+  return c;
+}
+
+std::vector<bool> left_mask(NodeId nl, NodeId total) {
+  std::vector<bool> mask(static_cast<std::size_t>(total), false);
+  for (NodeId v = 0; v < nl; ++v) mask[static_cast<std::size_t>(v)] = true;
+  return mask;
+}
+
+TEST(PointerGreedy, SingleEdge) {
+  const Graph g(2, {{0, 1}});
+  const auto r = mm::run_maximal_matching(g, left_mask(1, 2), pg_config());
+  EXPECT_EQ(r.matching.size(), 1);
+  EXPECT_TRUE(r.maximal);
+  EXPECT_EQ(r.iterations_executed, 1);  // one 3-round sweep
+  EXPECT_EQ(r.net.executed_rounds, 3);
+}
+
+TEST(PointerGreedy, CompleteBipartitePerfectlyMatches) {
+  const NodeId nl = 6;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < nl; ++u) {
+    for (NodeId v = 0; v < nl; ++v) {
+      edges.push_back({u, static_cast<NodeId>(nl + v)});
+    }
+  }
+  const Graph g(2 * nl, edges);
+  const auto r = mm::run_maximal_matching(g, left_mask(nl, 2 * nl), pg_config());
+  EXPECT_EQ(r.matching.size(), nl);
+  EXPECT_TRUE(r.maximal);
+}
+
+TEST(PointerGreedy, SmallestIdWinsContention) {
+  // Left 0,1,2 all point first at right vertex 3.
+  const Graph g(6, {{0, 3}, {1, 3}, {2, 3}, {0, 4}, {1, 4}, {1, 5}});
+  const auto r = mm::run_maximal_matching(g, left_mask(3, 6), pg_config());
+  EXPECT_EQ(r.matching.partner_of(3), 0);  // min-id proposer wins
+  EXPECT_TRUE(r.maximal);
+}
+
+TEST(PointerGreedy, FullyDeterministic) {
+  const auto [g, is_left] = random_bipartite(30, 30, 0.15, 7);
+  const auto a = mm::run_maximal_matching(g, is_left, pg_config());
+  const auto b = mm::run_maximal_matching(g, is_left, pg_config());
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.net.executed_rounds, b.net.executed_rounds);
+  EXPECT_EQ(a.net.messages, b.net.messages);
+}
+
+TEST(PointerGreedy, RequiresBipartiteOrientation) {
+  const Graph g(3, {{0, 1}, {1, 2}});
+  // Orientation missing entirely.
+  EXPECT_THROW(mm::run_maximal_matching(g, {}, pg_config()), CheckError);
+  // Edge (0,1) fails to cross the claimed bipartition.
+  std::vector<bool> bad{true, true, false};
+  EXPECT_THROW(mm::run_maximal_matching(g, bad, pg_config()), CheckError);
+}
+
+TEST(PointerGreedy, SweepBoundHolds) {
+  // At least one edge is matched per sweep, so sweeps <= min(|L|, |R|) + 1.
+  const auto [g, is_left] = random_bipartite(25, 40, 0.2, 3);
+  const auto r = mm::run_maximal_matching(g, is_left, pg_config());
+  EXPECT_TRUE(r.maximal);
+  EXPECT_LE(r.iterations_executed, 26);
+}
+
+class PointerGreedySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PointerGreedySeeds, MaximalOnRandomBipartite) {
+  const auto [g, is_left] = random_bipartite(50, 50, 0.08, GetParam());
+  const auto r = mm::run_maximal_matching(g, is_left, pg_config());
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_TRUE(r.maximal);
+  // Maximal matchings are 2-approximations of each other.
+  const Matching oracle = mm::greedy_maximal_matching(g);
+  EXPECT_GE(2 * r.matching.size(), oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointerGreedySeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(PointerGreedy, IsolatedVerticesQuiesceSilently) {
+  const Graph g(5, {{0, 3}});  // vertices 1, 2, 4 isolated
+  const auto r =
+      mm::run_maximal_matching(g, {true, true, true, false, false},
+                               pg_config());
+  EXPECT_EQ(r.matching.size(), 1);
+  EXPECT_TRUE(r.maximal);
+}
+
+}  // namespace
+}  // namespace dasm

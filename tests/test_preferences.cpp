@@ -1,0 +1,125 @@
+#include "stable/preferences.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/player.hpp"  // quantile_of_rank
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+TEST(PreferenceListTest, RanksAndLookup) {
+  PreferenceList p({4, 2, 7});
+  EXPECT_EQ(p.degree(), 3);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.at_rank(0), 4);
+  EXPECT_EQ(p.at_rank(2), 7);
+  EXPECT_EQ(p.rank_of(2), 1);
+  EXPECT_EQ(p.rank_of(9), kNoNode);
+  EXPECT_TRUE(p.contains(7));
+  EXPECT_FALSE(p.contains(0));
+}
+
+TEST(PreferenceListTest, PrefersIsStrict) {
+  PreferenceList p({4, 2, 7});
+  EXPECT_TRUE(p.prefers(4, 2));
+  EXPECT_FALSE(p.prefers(2, 4));
+  EXPECT_FALSE(p.prefers(2, 2));
+  EXPECT_THROW(p.prefers(4, 99), CheckError);
+}
+
+TEST(PreferenceListTest, UnmatchedConvention) {
+  PreferenceList p({4, 2});
+  EXPECT_TRUE(p.prefers_over_partner(2, kNoNode));
+  EXPECT_TRUE(p.prefers_over_partner(4, 2));
+  EXPECT_FALSE(p.prefers_over_partner(2, 4));
+}
+
+TEST(PreferenceListTest, RejectsDuplicatesAndNegatives) {
+  EXPECT_THROW(PreferenceList({1, 1}), CheckError);
+  EXPECT_THROW(PreferenceList({0, -2}), CheckError);
+}
+
+TEST(PreferenceListTest, EmptyList) {
+  PreferenceList p;
+  EXPECT_EQ(p.degree(), 0);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.rank_of(0), kNoNode);
+  EXPECT_THROW(p.at_rank(0), CheckError);
+}
+
+// ----------------------------------------------------------- quantization
+
+TEST(QuantileTest, SingletonQuantilesWhenKAtLeastDegree) {
+  PreferenceList p({5, 6, 7});
+  for (NodeId k : {3, 4, 10}) {
+    EXPECT_EQ(p.quantile_of(5, k), 1);
+    EXPECT_GT(p.quantile_of(6, k), p.quantile_of(5, k));
+    EXPECT_GT(p.quantile_of(7, k), p.quantile_of(6, k));
+  }
+}
+
+TEST(QuantileTest, SingleQuantileWhenKIsOne) {
+  PreferenceList p({5, 6, 7, 8});
+  for (NodeId u : p.ranked()) EXPECT_EQ(p.quantile_of(u, 1), 1);
+}
+
+TEST(QuantileTest, BalancedSizes) {
+  // 10 partners in 3 quantiles: sizes must differ by at most one and be
+  // monotone in rank.
+  std::vector<NodeId> partners;
+  for (NodeId i = 0; i < 10; ++i) partners.push_back(100 + i);
+  PreferenceList p(partners);
+  std::vector<int> size(4, 0);
+  NodeId prev_q = 0;
+  for (NodeId r = 0; r < 10; ++r) {
+    const NodeId q = p.quantile_of(p.at_rank(r), 3);
+    EXPECT_GE(q, 1);
+    EXPECT_LE(q, 3);
+    EXPECT_GE(q, prev_q);  // quantile is monotone in rank
+    prev_q = q;
+    ++size[static_cast<std::size_t>(q)];
+  }
+  for (int q = 1; q <= 3; ++q) {
+    EXPECT_GE(size[static_cast<std::size_t>(q)], 3);
+    EXPECT_LE(size[static_cast<std::size_t>(q)], 4);
+  }
+}
+
+TEST(QuantileTest, MembersPartitionTheList) {
+  std::vector<NodeId> partners;
+  for (NodeId i = 0; i < 17; ++i) partners.push_back(i);
+  PreferenceList p(partners);
+  const NodeId k = 5;
+  std::size_t total = 0;
+  for (NodeId q = 1; q <= k; ++q) {
+    for (NodeId u : p.quantile_members(q, k)) {
+      EXPECT_EQ(p.quantile_of(u, k), q);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 17u);
+}
+
+TEST(QuantileTest, MatchesFreeFunction) {
+  std::vector<NodeId> partners;
+  for (NodeId i = 0; i < 23; ++i) partners.push_back(i);
+  PreferenceList p(partners);
+  for (NodeId k : {1, 2, 5, 23, 40}) {
+    for (NodeId r = 0; r < 23; ++r) {
+      EXPECT_EQ(p.quantile_of(p.at_rank(r), k),
+                core::quantile_of_rank(r, 23, k));
+    }
+  }
+}
+
+TEST(QuantileTest, RejectsBadArguments) {
+  PreferenceList p({1, 2});
+  EXPECT_THROW(p.quantile_of(1, 0), CheckError);
+  EXPECT_THROW(p.quantile_of(9, 2), CheckError);
+  EXPECT_THROW(p.quantile_members(0, 2), CheckError);
+  EXPECT_THROW(p.quantile_members(3, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm

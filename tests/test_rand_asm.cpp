@@ -1,0 +1,101 @@
+// RandASM (§5.1, Theorem 5).
+#include "core/rand_asm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+
+namespace dasm::core {
+namespace {
+
+class RandAsmSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandAsmSeeds, AlmostStableOnCompleteInstances) {
+  const Instance inst = gen::complete_uniform(48, GetParam());
+  RandAsmParams params;
+  params.epsilon = 0.25;
+  params.seed = GetParam() * 31 + 1;
+  const AsmResult r = run_rand_asm(inst, params);
+  validate_matching(inst, r.matching);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, r.matching)),
+            params.epsilon * static_cast<double>(inst.edge_count()));
+}
+
+TEST_P(RandAsmSeeds, AlmostStableOnIncompleteInstances) {
+  const Instance inst = gen::incomplete_uniform(40, 40, 0.25, GetParam());
+  RandAsmParams params;
+  params.epsilon = 0.25;
+  params.seed = GetParam();
+  const AsmResult r = run_rand_asm(inst, params);
+  validate_matching(inst, r.matching);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, r.matching)),
+            params.epsilon * static_cast<double>(inst.edge_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandAsmSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RandAsm, ReproducibleBySeed) {
+  const Instance inst = gen::complete_uniform(32, 3);
+  RandAsmParams params;
+  params.seed = 77;
+  const AsmResult a = run_rand_asm(inst, params);
+  const AsmResult b = run_rand_asm(inst, params);
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.net.messages, b.net.messages);
+  // A different seed changes the Israeli–Itai coin flips; the execution
+  // remains valid either way (aggregate counters may coincide by chance,
+  // so only validity is asserted).
+  params.seed = 78;
+  const AsmResult c = run_rand_asm(inst, params);
+  validate_matching(inst, c.matching);
+}
+
+TEST(RandAsm, BudgetGrowsWithNAndShrinkingFailureProb) {
+  const Instance small = gen::complete_uniform(16, 1);
+  const Instance large = gen::complete_uniform(256, 1);
+  RandAsmParams params;
+  const int b_small = rand_asm_mm_budget(small, params);
+  const int b_large = rand_asm_mm_budget(large, params);
+  EXPECT_GT(b_large, b_small);
+
+  RandAsmParams strict = params;
+  strict.failure_prob = 1e-6;
+  EXPECT_GT(rand_asm_mm_budget(small, strict), b_small);
+}
+
+TEST(RandAsm, UsesIsraeliItaiRoundStructure) {
+  const Instance inst = gen::complete_uniform(24, 9);
+  RandAsmParams params;
+  const AsmResult r = run_rand_asm(inst, params);
+  EXPECT_EQ(r.schedule.mm_rounds_per_iteration, 4);
+  EXPECT_GT(r.schedule.mm_budget_iterations, 0);
+  EXPECT_LE(r.mm_iterations_peak, r.schedule.mm_budget_iterations);
+}
+
+TEST(RandAsm, ScheduledRoundsReflectTheorem5Shape) {
+  // O(eps^-3 log^2 n): quadruple n, scheduled rounds grow by roughly
+  // (log 4n / log n)^2 — far less than the 4x of a linear algorithm.
+  RandAsmParams params;
+  const Instance a = gen::complete_uniform(64, 1);
+  const Instance b = gen::complete_uniform(256, 1);
+  const auto ra = run_rand_asm(a, params);
+  const auto rb = run_rand_asm(b, params);
+  const double ratio = static_cast<double>(rb.net.scheduled_rounds) /
+                       static_cast<double>(ra.net.scheduled_rounds);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(RandAsm, RejectsBadFailureProb) {
+  const Instance inst = gen::complete_uniform(8, 1);
+  RandAsmParams params;
+  params.failure_prob = 0.0;
+  EXPECT_THROW(rand_asm_mm_budget(inst, params), CheckError);
+  params.failure_prob = 1.0;
+  EXPECT_THROW(rand_asm_mm_budget(inst, params), CheckError);
+}
+
+}  // namespace
+}  // namespace dasm::core

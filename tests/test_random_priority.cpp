@@ -1,0 +1,115 @@
+// Random-priority (Luby-style) maximal matching backend.
+#include "mm/random_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "gen/generators.hpp"
+#include "mm/runner.hpp"
+#include "stable/blocking.hpp"
+#include "testing_graphs.hpp"
+#include "util/stats.hpp"
+
+namespace dasm {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::random_bipartite;
+using testing::random_graph;
+using testing::star_graph;
+
+mm::RunConfig rp_config(std::uint64_t seed, int max_iters = 0) {
+  mm::RunConfig c;
+  c.backend = mm::Backend::kRandomPriority;
+  c.seed = seed;
+  c.max_iterations = max_iters;
+  return c;
+}
+
+TEST(RandomPriority, MaximalOnFixedTopologies) {
+  for (const Graph& g : {path_graph(9), cycle_graph(10), star_graph(7),
+                         complete_graph(8)}) {
+    const auto r = mm::run_maximal_matching(g, {}, rp_config(3));
+    EXPECT_TRUE(r.matching.is_valid(g));
+    EXPECT_TRUE(r.maximal);
+  }
+}
+
+TEST(RandomPriority, SingleEdgeMatchesInOneIteration) {
+  const Graph g(2, {{0, 1}});
+  const auto r = mm::run_maximal_matching(g, {}, rp_config(1));
+  EXPECT_EQ(r.matching.size(), 1);
+  EXPECT_EQ(r.iterations_executed, 1);
+  EXPECT_EQ(r.net.executed_rounds, 3);  // announce, choose, resolve
+}
+
+TEST(RandomPriority, ProgressIsGuaranteedEveryIteration) {
+  // The globally minimal live edge is matched in every iteration, so the
+  // live-vertex series strictly decreases while positive.
+  const Graph g = random_graph(80, 0.1, 5);
+  const auto r = mm::run_maximal_matching(g, {}, rp_config(5));
+  std::int64_t prev = g.node_count();
+  for (const auto live : r.live_after_iteration) {
+    EXPECT_LT(live, prev);
+    prev = live;
+  }
+}
+
+TEST(RandomPriority, ReproducibleBySeed) {
+  const Graph g = random_graph(60, 0.1, 8);
+  const auto a = mm::run_maximal_matching(g, {}, rp_config(9));
+  const auto b = mm::run_maximal_matching(g, {}, rp_config(9));
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.net.messages, b.net.messages);
+}
+
+class RandomPrioritySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPrioritySeeds, MaximalOnRandomGraphs) {
+  const Graph g = random_graph(80, 0.08, GetParam());
+  const auto r = mm::run_maximal_matching(g, {}, rp_config(GetParam() + 50));
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_TRUE(r.maximal);
+}
+
+TEST_P(RandomPrioritySeeds, MaximalOnBipartiteGraphs) {
+  const auto [g, is_left] = random_bipartite(40, 40, 0.1, GetParam());
+  const auto r = mm::run_maximal_matching(g, is_left, rp_config(GetParam()));
+  EXPECT_TRUE(r.maximal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrioritySeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RandomPriority, ConvergesLogarithmically) {
+  std::vector<double> iters;
+  for (NodeId n : {64, 128, 256, 512}) {
+    Summary s;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const Graph g = random_graph(n, 8.0 / n, seed + 1);
+      const auto r = mm::run_maximal_matching(g, {}, rp_config(seed));
+      EXPECT_TRUE(r.maximal);
+      s.add(static_cast<double>(r.iterations_executed));
+    }
+    iters.push_back(s.mean());
+  }
+  EXPECT_LT(iters.back(), 4.0 * iters.front());
+}
+
+TEST(RandomPriority, WorksAsAsmBackend) {
+  const Instance inst = gen::complete_uniform(48, 11);
+  core::AsmParams params;
+  params.epsilon = 0.25;
+  params.mm_backend = mm::Backend::kRandomPriority;
+  params.seed = 11;
+  const auto r = core::run_asm(inst, params);
+  validate_matching(inst, r.matching);
+  EXPECT_LE(static_cast<double>(count_blocking_pairs(inst, r.matching)),
+            0.25 * static_cast<double>(inst.edge_count()));
+  EXPECT_EQ(r.schedule.mm_rounds_per_iteration, 3);
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,47 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "gen/generators.hpp"
+
+namespace dasm::core {
+namespace {
+
+TEST(ResultTest, BadMenIsComplementOfGoodMen) {
+  AsmResult r;
+  r.good_men = {true, false, true};
+  const auto bad = r.bad_men();
+  ASSERT_EQ(bad.size(), 3u);
+  EXPECT_FALSE(bad[0]);
+  EXPECT_TRUE(bad[1]);
+  EXPECT_FALSE(bad[2]);
+}
+
+TEST(ResultTest, SummaryMentionsKeyCounters) {
+  const Instance inst = gen::complete_uniform(16, 2);
+  const AsmResult r = run_asm(inst, AsmParams{});
+  std::ostringstream os;
+  r.print_summary(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("matched pairs"), std::string::npos);
+  EXPECT_NE(s.find("rounds executed"), std::string::npos);
+  EXPECT_NE(s.find("rounds scheduled"), std::string::npos);
+  EXPECT_NE(s.find("mm iterations"), std::string::npos);
+}
+
+TEST(ResultTest, CountersAreConsistent) {
+  const Instance inst = gen::complete_uniform(24, 4);
+  const AsmResult r = run_asm(inst, AsmParams{});
+  EXPECT_EQ(r.good_count + r.bad_count, inst.n_men());
+  EXPECT_EQ(static_cast<NodeId>(r.good_men.size()), inst.n_men());
+  EXPECT_EQ(static_cast<NodeId>(r.dropped_men.size()), inst.n_men());
+  EXPECT_GE(r.net.messages, r.matching.size());
+  EXPECT_GE(r.mm_rounds_executed, 0);
+  EXPECT_LE(r.mm_rounds_executed, r.net.executed_rounds);
+}
+
+}  // namespace
+}  // namespace dasm::core

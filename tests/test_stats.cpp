@@ -1,0 +1,117 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasm {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const auto fit = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantData) {
+  const auto fit = linear_fit({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFitTest, DegenerateXReturnsMean) {
+  const auto fit = linear_fit({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+}
+
+TEST(LinearFitTest, RejectsMismatchedSizes) {
+  EXPECT_THROW(linear_fit({1, 2}, {1}), CheckError);
+  EXPECT_THROW(linear_fit({1}, {1}), CheckError);
+}
+
+TEST(LogLogFitTest, RecoversPowerLaw) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);  // y = 3 x^2
+  }
+  const auto fit = loglog_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::pow(2.0, fit.intercept), 3.0, 1e-6);
+}
+
+TEST(LogLogFitTest, RejectsNonPositive) {
+  EXPECT_THROW(loglog_fit({1.0, 0.0}, {1.0, 1.0}), CheckError);
+  EXPECT_THROW(loglog_fit({1.0, 2.0}, {1.0, -3.0}), CheckError);
+}
+
+TEST(SemilogFitTest, RecoversLogGrowth) {
+  std::vector<double> xs{2, 4, 8, 16, 32, 64};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(5.0 + 2.0 * std::log2(x));
+  const auto fit = semilog_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PercentileTest, Median) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({4, 1, 2, 3}, 50), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100), 9.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7}, 25), 7.0);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 50), CheckError);
+  EXPECT_THROW(percentile({1}, -1), CheckError);
+  EXPECT_THROW(percentile({1}, 101), CheckError);
+}
+
+TEST(MeanOfTest, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2, 4}), 3.0);
+}
+
+}  // namespace
+}  // namespace dasm

@@ -1,0 +1,225 @@
+// dasm — command-line front end for the library.
+//
+//   dasm gen    --family <name> --n <N> [--seed S] [--d D] [--p P]
+//               [--out inst.txt]
+//   dasm info   --in inst.txt
+//   dasm run    --algo <name> (--in inst.txt | --family <name> --n <N>)
+//               [--eps E] [--seed S] [--max-rounds R] [--out matching.txt]
+//               [--backend det|ii|rp] [--mimic-gs=true]   (asm only)
+//   dasm verify --in inst.txt --matching matching.txt [--eps E]
+//
+// Algorithms: asm (deterministic, default), rand-asm, almost-regular-asm,
+// gs (centralized), distributed-gs, truncated-gs, broadcast-gs.
+// Families: complete, incomplete, regular, bounded, almost_regular,
+// master, chain.
+#include <fstream>
+#include <iostream>
+
+#include "core/almost_regular_asm.hpp"
+#include "core/bounds.hpp"
+#include "core/engine.hpp"
+#include "core/rand_asm.hpp"
+#include "gen/generators.hpp"
+#include "stable/blocking.hpp"
+#include "stable/broadcast_gs.hpp"
+#include "stable/distributed_gs.hpp"
+#include "stable/gale_shapley.hpp"
+#include "stable/io.hpp"
+#include "stable/metrics.hpp"
+#include "stable/truncated_gs.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dasm;
+
+Instance make_instance(const Cli& cli) {
+  if (cli.has("in")) return load_instance_file(cli.get("in", ""));
+  const std::string family = cli.get("family", "complete");
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 64));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const NodeId d = static_cast<NodeId>(cli.get_int("d", 8));
+  const double p = cli.get_double("p", 0.2);
+  if (family == "complete") return gen::complete_uniform(n, seed);
+  if (family == "incomplete") return gen::incomplete_uniform(n, n, p, seed);
+  if (family == "regular") return gen::regular_bipartite(n, d, seed);
+  if (family == "bounded") return gen::bounded_degree(n, d, seed);
+  if (family == "almost_regular")
+    return gen::almost_regular(n, std::max<NodeId>(1, d / 2), d, seed);
+  if (family == "master") return gen::master_list(n, n, seed);
+  if (family == "chain") return gen::gs_displacement_chain(n);
+  DASM_CHECK_MSG(false, "unknown family '" << family << "'");
+  return gen::complete_uniform(n, seed);
+}
+
+void print_instance_info(const Instance& inst) {
+  std::cout << "men:    " << inst.n_men() << '\n'
+            << "women:  " << inst.n_women() << '\n'
+            << "edges:  " << inst.edge_count() << '\n'
+            << "complete: " << (inst.is_complete() ? "yes" : "no") << '\n'
+            << "alpha (men-side regularity): " << inst.regularity_alpha()
+            << '\n';
+}
+
+void report_matching(const Instance& inst, const Matching& matching,
+                     double eps) {
+  validate_matching(inst, matching);
+  const auto metrics = compute_metrics(inst, matching);
+  const auto blocking = count_blocking_pairs(inst, matching);
+  std::cout << "matched pairs:     " << metrics.matched_pairs << '\n'
+            << "unmatched:         " << metrics.unmatched_men << " men, "
+            << metrics.unmatched_women << " women\n"
+            << "blocking pairs:    " << blocking << " (eps*|E| budget "
+            << eps * static_cast<double>(inst.edge_count()) << ", "
+            << (is_almost_stable(inst, matching, eps) ? "met" : "NOT MET")
+            << ")\n"
+            << "stable:            "
+            << (blocking == 0 ? "yes" : "no") << '\n'
+            << "mean rank (men):   " << metrics.mean_man_rank() << '\n'
+            << "mean rank (women): " << metrics.mean_woman_rank() << '\n'
+            << "egalitarian cost:  " << metrics.egalitarian_cost << '\n'
+            << "sex-equality cost: " << metrics.sex_equality_cost << '\n'
+            << "regret (m/w):      " << metrics.men_regret << " / "
+            << metrics.women_regret << '\n';
+}
+
+int cmd_gen(const Cli& cli) {
+  const Instance inst = make_instance(cli);
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    save_instance(std::cout, inst);
+  } else {
+    save_instance_file(out, inst);
+    std::cout << "wrote " << out << " (" << inst.n_men() << "+"
+              << inst.n_women() << " players, " << inst.edge_count()
+              << " edges)\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Cli& cli) {
+  print_instance_info(make_instance(cli));
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  const Instance inst = make_instance(cli);
+  const std::string algo = cli.get("algo", "asm");
+  const double eps = cli.get_double("eps", 0.25);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  Matching matching(inst.graph().node_count());
+  if (algo == "asm" || algo == "rand-asm") {
+    core::AsmResult r = [&] {
+      if (algo == "asm") {
+        core::AsmParams params;
+        params.epsilon = eps;
+        params.seed = seed;
+        params.max_rounds = cli.get_int("max-rounds", 0);
+        params.per_player_quantiles = cli.get_bool("mimic-gs", false);
+        const std::string backend = cli.get("backend", "det");
+        if (backend == "ii") {
+          params.mm_backend = mm::Backend::kIsraeliItai;
+        } else if (backend == "rp") {
+          params.mm_backend = mm::Backend::kRandomPriority;
+        } else {
+          DASM_CHECK_MSG(backend == "det",
+                         "--backend must be det, ii or rp, got '" << backend
+                                                                  << "'");
+        }
+        return core::run_asm(inst, params);
+      }
+      core::RandAsmParams params;
+      params.epsilon = eps;
+      params.seed = seed;
+      return core::run_rand_asm(inst, params);
+    }();
+    r.print_summary(std::cout);
+    const auto cert = core::blocking_certificate(inst, r);
+    std::cout << "certified blocking bound: " << cert.certified_bound
+              << " (paper worst case " << cert.paper_bound << ")\n\n";
+    matching = r.matching;
+  } else if (algo == "almost-regular-asm") {
+    core::AlmostRegularAsmParams params;
+    params.epsilon = eps;
+    params.seed = seed;
+    const auto r = core::run_almost_regular_asm(inst, params);
+    r.print_summary(std::cout);
+    std::cout << '\n';
+    matching = r.matching;
+  } else if (algo == "gs") {
+    const auto r = gale_shapley(inst);
+    std::cout << "proposals: " << r.proposals << "\n\n";
+    matching = r.matching;
+  } else if (algo == "distributed-gs") {
+    const auto r = distributed_gale_shapley(inst);
+    std::cout << "sweeps: " << r.sweeps << ", rounds: "
+              << r.net.executed_rounds << ", messages: " << r.net.messages
+              << "\n\n";
+    matching = r.matching;
+  } else if (algo == "truncated-gs") {
+    const auto r = truncated_gale_shapley(
+        inst, cli.get_int("sweeps", 4));
+    std::cout << "sweeps: " << r.sweeps << ", rounds: "
+              << r.net.executed_rounds
+              << (r.already_stable ? " (converged)" : " (truncated)")
+              << "\n\n";
+    matching = r.matching;
+  } else if (algo == "broadcast-gs") {
+    const auto r = broadcast_gale_shapley(inst);
+    std::cout << "rounds: " << r.net.executed_rounds << ", messages: "
+              << r.net.messages << ", reconstruction "
+              << (r.reconstruction_verified ? "verified" : "FAILED")
+              << "\n\n";
+    matching = r.matching;
+  } else {
+    std::cerr << "unknown --algo '" << algo << "'\n";
+    return 2;
+  }
+
+  report_matching(inst, matching, eps);
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    DASM_CHECK_MSG(os.good(), "cannot open '" << out << "'");
+    save_matching(os, inst, matching);
+    std::cout << "wrote matching to " << out << '\n';
+  }
+  return 0;
+}
+
+int cmd_verify(const Cli& cli) {
+  const Instance inst = make_instance(cli);
+  const std::string path = cli.get("matching", "");
+  DASM_CHECK_MSG(!path.empty(), "verify needs --matching <file>");
+  std::ifstream is(path);
+  DASM_CHECK_MSG(is.good(), "cannot open '" << path << "'");
+  const Matching matching = load_matching(is, inst);
+  report_matching(inst, matching, cli.get_double("eps", 0.25));
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: dasm <gen|info|run|verify> [flags]\n"
+            << "  see the header of tools/dasm_main.cpp or README.md\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli(argc, argv);
+    if (cli.positional().empty()) return usage();
+    const std::string& cmd = cli.positional()[0];
+    if (cmd == "gen") return cmd_gen(cli);
+    if (cmd == "info") return cmd_info(cli);
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "verify") return cmd_verify(cli);
+    return usage();
+  } catch (const dasm::CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -2,9 +2,20 @@
 # Regenerates every experiment table in EXPERIMENTS.md.
 #
 #   ./run_experiments.sh [output-file]
+#   ./run_experiments.sh --check     # ASan+UBSan build + full ctest suite
 #
 # DASM_BENCH_LARGE=1 enlarges the sweeps (slower, same shapes).
 set -e
+
+if [ "${1:-}" = "--check" ]; then
+  # Sanitizer gate: the arena engine's pointer-flipping delivery path and
+  # every protocol on top of it run under ASan+UBSan.
+  cmake --preset asan
+  cmake --build --preset asan
+  ctest --preset asan -j "$(nproc 2>/dev/null || echo 4)"
+  exit 0
+fi
+
 out="${1:-experiments_output.txt}"
 cmake -B build -G Ninja
 cmake --build build

@@ -1,5 +1,6 @@
 #include "congest/message.hpp"
 
+#include <bit>
 #include <cstdlib>
 #include <sstream>
 
@@ -42,24 +43,6 @@ const char* to_string(MsgType type) {
   }
   return "UNKNOWN";
 }
-
-namespace {
-
-// Bits needed to transmit a (sign, magnitude) varint payload field.
-int payload_bits(std::int64_t v) {
-  if (v == 0) return 0;
-  std::uint64_t mag = static_cast<std::uint64_t>(v < 0 ? -v : v);
-  int bits = 1;  // sign bit
-  while (mag > 0) {
-    ++bits;
-    mag >>= 1;
-  }
-  return bits;
-}
-
-}  // namespace
-
-int Message::encoded_bits() const { return 8 + payload_bits(a) + payload_bits(b); }
 
 std::string to_debug_string(const Message& m) {
   std::ostringstream os;

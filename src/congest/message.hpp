@@ -6,6 +6,7 @@
 // communication accounting (§2.2 of the paper).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -51,10 +52,20 @@ struct Message {
   std::int64_t b = 0;
 
   /// Wire size in bits: 8 tag bits plus a varint-style cost for each
-  /// nonzero payload field.
-  int encoded_bits() const;
+  /// nonzero payload field (sign bit + magnitude width). Inline — this is
+  /// on the per-send hot path of the simulator.
+  int encoded_bits() const {
+    return 8 + payload_bits(a) + payload_bits(b);
+  }
 
   friend bool operator==(const Message&, const Message&) = default;
+
+ private:
+  static int payload_bits(std::int64_t v) {
+    if (v == 0) return 0;
+    const std::uint64_t mag = static_cast<std::uint64_t>(v < 0 ? -v : v);
+    return 1 + std::bit_width(mag);
+  }
 };
 
 std::string to_debug_string(const Message& m);

@@ -31,9 +31,6 @@ Network::Network(std::vector<std::vector<NodeId>> adjacency,
   const auto n = adj_.size();
   bit_budget_ = message_bit_budget > 0 ? message_bit_budget
                                        : default_bit_budget(n);
-  inboxes_.resize(n);
-  outboxes_.resize(n);
-  sent_stamp_.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
     auto& nb = adj_[v];
     std::sort(nb.begin(), nb.end());
@@ -44,7 +41,6 @@ Network::Network(std::vector<std::vector<NodeId>> adjacency,
                      "neighbour id out of range: " << u);
       DASM_CHECK_MSG(u != static_cast<NodeId>(v), "self-loop at node " << v);
     }
-    sent_stamp_[v].assign(nb.size(), -1);
   }
   // Verify symmetry: (u, v) in adj[u] implies (v, u) in adj[v].
   for (std::size_t v = 0; v < n; ++v) {
@@ -53,6 +49,38 @@ Network::Network(std::vector<std::vector<NodeId>> adjacency,
       DASM_CHECK_MSG(
           std::binary_search(back.begin(), back.end(), static_cast<NodeId>(v)),
           "asymmetric adjacency between " << v << " and " << u);
+    }
+  }
+  // Size the delivery arenas once: node v receives at most one message per
+  // in-edge per round, so its inbox fits in deg(v) slots forever.
+  slot_offset_.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    slot_offset_[v + 1] = slot_offset_[v] + adj_[v].size();
+  }
+  for (Arena& a : arenas_) {
+    a.slots.resize(slot_offset_[n]);
+    a.fill.assign(n, 0);
+    a.dirty.reserve(n);
+  }
+  // Build the neighbour probe tables (load factor <= 1/2).
+  port_offset_.resize(n + 1, 0);
+  port_mask_.resize(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t cap = 2;
+    while (cap < 2 * adj_[v].size()) cap *= 2;
+    port_mask_[v] = static_cast<std::uint32_t>(cap - 1);
+    port_offset_[v + 1] = port_offset_[v] + cap;
+  }
+  port_key_.assign(port_offset_[n], kNoNode);
+  sent_stamp_.assign(port_offset_[n], -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const NodeId u : adj_[v]) {
+      std::uint32_t slot =
+          (static_cast<std::uint32_t>(u) * 2654435761u) & port_mask_[v];
+      while (port_key_[port_offset_[v] + slot] != kNoNode) {
+        slot = (slot + 1) & port_mask_[v];
+      }
+      port_key_[port_offset_[v] + slot] = u;
     }
   }
 }
@@ -68,12 +96,18 @@ bool Network::has_edge(NodeId u, NodeId v) const {
   return std::binary_search(nb.begin(), nb.end(), v);
 }
 
-std::size_t Network::neighbor_index(NodeId from, NodeId to) const {
-  const auto& nb = adj_[static_cast<std::size_t>(from)];
-  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
-  DASM_CHECK_MSG(it != nb.end() && *it == to,
-                 "send along non-edge " << from << " -> " << to);
-  return static_cast<std::size_t>(it - nb.begin());
+std::size_t Network::edge_slot(NodeId from, NodeId to) const {
+  const auto sf = static_cast<std::size_t>(from);
+  const std::uint32_t mask = port_mask_[sf];
+  const std::size_t base = port_offset_[sf];
+  std::uint32_t slot = (static_cast<std::uint32_t>(to) * 2654435761u) & mask;
+  for (;;) {
+    const NodeId key = port_key_[base + slot];
+    if (key == to) return base + slot;
+    DASM_CHECK_MSG(key != kNoNode,
+                   "send along non-edge " << from << " -> " << to);
+    slot = (slot + 1) & mask;
+  }
 }
 
 void Network::begin_round() {
@@ -85,8 +119,7 @@ void Network::begin_round() {
 void Network::send(NodeId from, NodeId to, const Message& msg) {
   DASM_CHECK_MSG(round_open_, "send() outside begin_round()/end_round()");
   DASM_CHECK(from >= 0 && from < node_count());
-  const std::size_t idx = neighbor_index(from, to);
-  auto& stamp = sent_stamp_[static_cast<std::size_t>(from)][idx];
+  auto& stamp = sent_stamp_[edge_slot(from, to)];
   DASM_CHECK_MSG(stamp != round_serial_,
                  "two messages on directed edge " << from << " -> " << to
                                                   << " in one round");
@@ -96,13 +129,24 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
                  "message " << to_debug_string(msg) << " is " << bits
                             << " bits; CONGEST budget is " << bit_budget_);
   if (trace_cap_ > 0) {
-    if (trace_.size() >= trace_cap_) {
-      trace_.erase(trace_.begin());
+    const TraceEvent event{stats_.executed_rounds, from, to, msg};
+    if (trace_size_ < trace_cap_) {
+      trace_ring_[(trace_start_ + trace_size_) % trace_cap_] = event;
+      ++trace_size_;
+    } else {
+      trace_ring_[trace_start_] = event;
+      trace_start_ = (trace_start_ + 1) % trace_cap_;
       ++trace_dropped_;
     }
-    trace_.push_back(TraceEvent{stats_.executed_rounds, from, to, msg});
   }
-  outboxes_[static_cast<std::size_t>(to)].push_back(Envelope{from, msg});
+  Arena& out = arenas_[delivered_ ^ 1];
+  auto& fill = out.fill[static_cast<std::size_t>(to)];
+  if (fill == 0) out.dirty.push_back(to);
+  // The per-edge stamp above guarantees fill < deg(to), i.e. the slot
+  // range never overflows.
+  out.slots[slot_offset_[static_cast<std::size_t>(to)] +
+            static_cast<std::size_t>(fill)] = Envelope{from, msg};
+  ++fill;
   ++stats_.messages;
   ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
   stats_.bits += bits;
@@ -112,19 +156,26 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
 void Network::end_round() {
   DASM_CHECK_MSG(round_open_, "end_round() without begin_round()");
   round_open_ = false;
-  last_round_silent_ = true;
-  for (std::size_t v = 0; v < adj_.size(); ++v) {
-    inboxes_[v] = std::move(outboxes_[v]);
-    outboxes_[v].clear();
-    if (!inboxes_[v].empty()) last_round_silent_ = false;
+  // Retire the arena that was readable this round: reset only the slots
+  // that held messages, then flip. No container grows or shrinks here, so
+  // steady-state rounds perform no allocations.
+  Arena& retired = arenas_[delivered_];
+  for (const NodeId v : retired.dirty) {
+    retired.fill[static_cast<std::size_t>(v)] = 0;
   }
+  retired.dirty.clear();
+  delivered_ ^= 1;
+  last_round_silent_ = arenas_[delivered_].dirty.empty();
   ++stats_.executed_rounds;
   ++stats_.scheduled_rounds;
 }
 
-const std::vector<Envelope>& Network::inbox(NodeId v) const {
+InboxView Network::inbox(NodeId v) const {
   DASM_CHECK(v >= 0 && v < node_count());
-  return inboxes_[static_cast<std::size_t>(v)];
+  const Arena& in = arenas_[delivered_];
+  const auto sv = static_cast<std::size_t>(v);
+  return InboxView{in.slots.data() + slot_offset_[sv],
+                   static_cast<std::size_t>(in.fill[sv])};
 }
 
 void Network::charge_scheduled_rounds(std::int64_t rounds) {
@@ -134,12 +185,20 @@ void Network::charge_scheduled_rounds(std::int64_t rounds) {
 
 void Network::enable_trace(std::size_t max_events) {
   trace_cap_ = max_events;
-  if (max_events == 0) {
-    trace_.clear();
-    trace_dropped_ = 0;
-  } else {
-    trace_.reserve(max_events);
+  trace_ring_.assign(max_events, TraceEvent{});
+  trace_ring_.shrink_to_fit();
+  trace_start_ = 0;
+  trace_size_ = 0;
+  trace_dropped_ = 0;
+}
+
+std::vector<TraceEvent> Network::trace() const {
+  std::vector<TraceEvent> out;
+  out.reserve(trace_size_);
+  for (std::size_t i = 0; i < trace_size_; ++i) {
+    out.push_back(trace_ring_[(trace_start_ + i) % trace_cap_]);
   }
+  return out;
 }
 
 }  // namespace dasm

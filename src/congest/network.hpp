@@ -16,10 +16,19 @@
 // allocates but that provably move no messages can be charged separately
 // via charge_scheduled_rounds(), keeping the "paper schedule" accounting
 // distinct from the "executed" accounting (see DESIGN.md §2.3).
+//
+// Delivery is zero-allocation in steady state: because the model admits at
+// most one message per directed edge per round, every node's inbox fits in
+// a slot range of size deg(v). Messages live in two flat CSR-style arenas
+// (one contiguous Envelope buffer per direction of the double buffer, plus
+// a shared per-node offset table) that are sized once in the constructor;
+// end_round() flips the buffers by index and resets only the slots that
+// were actually used. inbox(v) hands out a view into the current arena.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "congest/message.hpp"
@@ -31,7 +40,13 @@ namespace dasm {
 struct Envelope {
   NodeId from;
   Message msg;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
 };
+
+/// A node's inbox for the current round: a view into the delivery arena,
+/// valid until the next end_round() (or the Network's destruction).
+using InboxView = std::span<const Envelope>;
 
 /// One traced transmission (see Network::enable_trace).
 struct TraceEvent {
@@ -82,11 +97,12 @@ class Network {
   void send(NodeId from, NodeId to, const Message& msg);
 
   /// Closes the round: delivers this round's messages into the inboxes
-  /// read during the next round and updates statistics.
+  /// read during the next round and updates statistics. Allocation-free.
   void end_round();
 
-  /// Messages delivered to v by the most recent end_round().
-  const std::vector<Envelope>& inbox(NodeId v) const;
+  /// Messages delivered to v by the most recent end_round(), in send-call
+  /// order. The view is invalidated by the next end_round().
+  InboxView inbox(NodeId v) const;
 
   /// True if the most recent end_round() delivered no messages at all.
   bool last_round_was_silent() const { return last_round_silent_; }
@@ -97,30 +113,53 @@ class Network {
 
   const NetStats& stats() const { return stats_; }
 
-  /// Starts recording every transmission, keeping at most `max_events`
-  /// (older events are dropped once the cap is hit, and dropped_trace()
-  /// reports how many). Pass 0 to stop tracing.
+  /// Starts recording every transmission into a fixed-capacity ring of
+  /// `max_events` events (once full, each new event overwrites the oldest
+  /// in O(1), and dropped_trace_events() reports how many were lost).
+  /// Pass 0 to stop tracing; a nonzero cap starts a fresh recording.
   void enable_trace(std::size_t max_events);
-  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// The retained trace, oldest first (a linearized copy of the ring).
+  std::vector<TraceEvent> trace() const;
   std::int64_t dropped_trace_events() const { return trace_dropped_; }
 
  private:
-  std::vector<std::vector<NodeId>> adj_;          // sorted neighbour lists
-  std::vector<std::vector<Envelope>> inboxes_;    // visible this round
-  std::vector<std::vector<Envelope>> outboxes_;   // accumulating this round
-  // Directed-edge send guard, reset each round: (from -> to) stamped with
-  // the id of the round it was last used in.
-  std::vector<std::vector<std::int64_t>> sent_stamp_;
+  // One direction of the double buffer: a flat slot array indexed by the
+  // shared CSR offsets, the per-node fill counts, and the list of nodes
+  // with at least one filled slot (so resets touch only what was used).
+  struct Arena {
+    std::vector<Envelope> slots;
+    std::vector<NodeId> fill;
+    std::vector<NodeId> dirty;
+  };
+
+  std::vector<std::vector<NodeId>> adj_;  // sorted neighbour lists
+  std::vector<std::size_t> slot_offset_;  // CSR offsets, size n + 1
+  std::array<Arena, 2> arenas_;
+  int delivered_ = 0;  // arenas_[delivered_] is readable; the other fills
+  // Per-node open-addressing set of neighbours, flattened into shared
+  // arrays (power-of-two region per node, linear probing): O(1) edge
+  // lookup on the send path instead of a binary search. The directed-edge
+  // send guard lives in the same layout — sent_stamp_ is indexed by probe
+  // slot and holds the id of the round that last used the edge.
+  std::vector<NodeId> port_key_;         // neighbour id, kNoNode = empty
+  std::vector<std::size_t> port_offset_; // region start per node
+  std::vector<std::uint32_t> port_mask_; // region size - 1 per node
+  std::vector<std::int64_t> sent_stamp_; // parallel to port_key_
   std::int64_t round_serial_ = 0;
   bool round_open_ = false;
   bool last_round_silent_ = true;
   int bit_budget_ = 0;
   NetStats stats_;
-  std::vector<TraceEvent> trace_;
+  // Trace ring buffer: trace_ring_[trace_start_] is the oldest retained
+  // event, trace_size_ events follow cyclically.
+  std::vector<TraceEvent> trace_ring_;
   std::size_t trace_cap_ = 0;
+  std::size_t trace_start_ = 0;
+  std::size_t trace_size_ = 0;
   std::int64_t trace_dropped_ = 0;
 
-  std::size_t neighbor_index(NodeId from, NodeId to) const;
+  std::size_t edge_slot(NodeId from, NodeId to) const;
 };
 
 }  // namespace dasm

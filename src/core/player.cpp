@@ -50,7 +50,7 @@ void ManPlayer::begin_quantile_match() {
   }
 }
 
-void ManPlayer::process_rejections(const std::vector<Envelope>& inbox) {
+void ManPlayer::process_rejections(InboxView inbox) {
   for (const Envelope& e : inbox) {
     if (e.msg.type != MsgType::kReject) continue;
     const NodeId w = e.from - woman_id_offset_;
@@ -76,7 +76,7 @@ void ManPlayer::propose_round(Network& net) {
   }
 }
 
-void ManPlayer::mm_first_round(const std::vector<Envelope>& inbox,
+void ManPlayer::mm_first_round(InboxView inbox,
                                Network& net) {
   std::vector<NodeId> accepted;
   for (const Envelope& e : inbox) {
@@ -87,7 +87,7 @@ void ManPlayer::mm_first_round(const std::vector<Envelope>& inbox,
   mm_->on_round(inbox, net);
 }
 
-void ManPlayer::mm_round(const std::vector<Envelope>& inbox, Network& net) {
+void ManPlayer::mm_round(InboxView inbox, Network& net) {
   DASM_DCHECK(mm_engaged_);
   mm_->on_round(inbox, net);
 }
@@ -113,7 +113,7 @@ bool ManPlayer::drop_if_unsatisfied() {
   return true;
 }
 
-void ManPlayer::finalize(const std::vector<Envelope>& inbox) {
+void ManPlayer::finalize(InboxView inbox) {
   process_rejections(inbox);
 }
 
@@ -128,7 +128,7 @@ WomanPlayer::WomanPlayer(NodeId node_id, const PreferenceList& pref, NodeId k,
   q_size_ = pref.degree();
 }
 
-void WomanPlayer::accept_round(const std::vector<Envelope>& inbox,
+void WomanPlayer::accept_round(InboxView inbox,
                                Network& net) {
   accepted_.clear();
   mm_engaged_ = false;
@@ -165,14 +165,14 @@ void WomanPlayer::accept_round(const std::vector<Envelope>& inbox,
   }
 }
 
-void WomanPlayer::mm_first_round(const std::vector<Envelope>& inbox,
+void WomanPlayer::mm_first_round(InboxView inbox,
                                  Network& net) {
   mm_->reset(node_id_, /*is_left=*/false, accepted_);
   mm_engaged_ = true;
   mm_->on_round(inbox, net);
 }
 
-void WomanPlayer::mm_round(const std::vector<Envelope>& inbox, Network& net) {
+void WomanPlayer::mm_round(InboxView inbox, Network& net) {
   DASM_DCHECK(mm_engaged_);
   mm_->on_round(inbox, net);
 }

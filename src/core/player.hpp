@@ -60,8 +60,8 @@ class ManPlayer {
 
   /// First round of the embedded maximal matching: his G0 neighbours are
   /// the women whose ACCEPT is in the inbox.
-  void mm_first_round(const std::vector<Envelope>& inbox, Network& net);
-  void mm_round(const std::vector<Envelope>& inbox, Network& net);
+  void mm_first_round(InboxView inbox, Network& net);
+  void mm_round(InboxView inbox, Network& net);
   bool mm_quiescent() const { return mm_->quiescent(); }
 
   /// ProposalRound Step 4, man side: adopt the M0 partner if matched.
@@ -72,10 +72,10 @@ class ManPlayer {
   bool drop_if_unsatisfied();
 
   /// Processes any rejections still in the inbox after the final round.
-  void finalize(const std::vector<Envelope>& inbox);
+  void finalize(InboxView inbox);
 
  private:
-  void process_rejections(const std::vector<Envelope>& inbox);
+  void process_rejections(InboxView inbox);
 
   NodeId node_id_;
   const PreferenceList* pref_;
@@ -104,10 +104,10 @@ class WomanPlayer {
 
   /// ProposalRound Step 2: accept every proposal from the best quantile
   /// that proposed; the accepted men form her side of G0.
-  void accept_round(const std::vector<Envelope>& inbox, Network& net);
+  void accept_round(InboxView inbox, Network& net);
 
-  void mm_first_round(const std::vector<Envelope>& inbox, Network& net);
-  void mm_round(const std::vector<Envelope>& inbox, Network& net);
+  void mm_first_round(InboxView inbox, Network& net);
+  void mm_round(InboxView inbox, Network& net);
   bool mm_quiescent() const { return mm_->quiescent(); }
 
   /// ProposalRound Step 4: if matched in M0, reject every remaining Q

@@ -18,7 +18,7 @@ class SelfTimedMan {
   SelfTimedMan(ManPlayer player, const PhaseScript& script, bool drop_rule)
       : player_(std::move(player)), script_(script), drop_rule_(drop_rule) {}
 
-  void step(std::int64_t round, const std::vector<Envelope>& inbox,
+  void step(std::int64_t round, InboxView inbox,
             Network& net) {
     const Phase phase = script_.at(round);
     switch (phase.kind) {
@@ -67,7 +67,7 @@ class SelfTimedWoman {
   SelfTimedWoman(WomanPlayer player, const PhaseScript& script)
       : player_(std::move(player)), script_(script) {}
 
-  void step(std::int64_t round, const std::vector<Envelope>& inbox,
+  void step(std::int64_t round, InboxView inbox,
             Network& net) {
     const Phase phase = script_.at(round);
     switch (phase.kind) {

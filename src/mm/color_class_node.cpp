@@ -64,7 +64,7 @@ bool ColorClassNode::any_live_neighbor() const {
          neighbor_alive_.end();
 }
 
-void ColorClassNode::process_withdrawals(const std::vector<Envelope>& inbox) {
+void ColorClassNode::process_withdrawals(InboxView inbox) {
   for (const Envelope& e : inbox) {
     if (e.msg.type == MsgType::kMmMatched) mark_dead(e.from);
   }
@@ -78,7 +78,7 @@ void ColorClassNode::withdraw(Network& net) {
   }
 }
 
-void ColorClassNode::on_round(const std::vector<Envelope>& inbox,
+void ColorClassNode::on_round(InboxView inbox,
                               Network& net) {
   process_withdrawals(inbox);
   const std::int64_t r = round_++;

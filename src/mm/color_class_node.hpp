@@ -29,7 +29,7 @@ class ColorClassNode final : public Node {
   ColorClassNode(NodeId delta_bound, NodeId n_bound);
 
   void reset(NodeId self, bool is_left, std::vector<NodeId> neighbors) override;
-  void on_round(const std::vector<Envelope>& inbox, Network& net) override;
+  void on_round(InboxView inbox, Network& net) override;
   NodeId partner() const override { return partner_; }
   bool quiescent() const override { return !alive_; }
   /// One "iteration" is one class pass.
@@ -37,7 +37,7 @@ class ColorClassNode final : public Node {
 
  private:
   bool in_class() const { return !class_nbrs_.empty(); }
-  void process_withdrawals(const std::vector<Envelope>& inbox);
+  void process_withdrawals(InboxView inbox);
   void mark_dead(NodeId v);
   bool neighbor_live(NodeId v) const;
   bool any_live_neighbor() const;

@@ -45,13 +45,13 @@ NodeId IsraeliItaiNode::random_live_neighbor() {
   return kNoNode;
 }
 
-void IsraeliItaiNode::process_withdrawals(const std::vector<Envelope>& inbox) {
+void IsraeliItaiNode::process_withdrawals(InboxView inbox) {
   for (const Envelope& e : inbox) {
     if (e.msg.type == MsgType::kMmMatched) mark_dead(e.from);
   }
 }
 
-void IsraeliItaiNode::on_round(const std::vector<Envelope>& inbox,
+void IsraeliItaiNode::on_round(InboxView inbox,
                                Network& net) {
   // Withdrawals are announced in the resolve step and consumed at the top
   // of the next pick step; processing them in every phase is harmless and

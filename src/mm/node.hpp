@@ -33,7 +33,7 @@ class Node {
   /// Executes one communication round: consume this round's envelopes,
   /// send next-round messages through `net`. All nodes are stepped in
   /// lockstep between net.begin_round() and net.end_round().
-  virtual void on_round(const std::vector<Envelope>& inbox, Network& net) = 0;
+  virtual void on_round(InboxView inbox, Network& net) = 0;
 
   /// Partner in the matching constructed so far (kNoNode if unmatched).
   virtual NodeId partner() const = 0;

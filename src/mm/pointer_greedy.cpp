@@ -31,7 +31,7 @@ NodeId PointerGreedyNode::first_live_neighbor() const {
 }
 
 void PointerGreedyNode::process_withdrawals(
-    const std::vector<Envelope>& inbox) {
+    InboxView inbox) {
   for (const Envelope& e : inbox) {
     if (e.msg.type == MsgType::kMmMatched) mark_dead(e.from);
   }
@@ -45,7 +45,7 @@ void PointerGreedyNode::withdraw_from_others(Network& net) {
   }
 }
 
-void PointerGreedyNode::on_round(const std::vector<Envelope>& inbox,
+void PointerGreedyNode::on_round(InboxView inbox,
                                  Network& net) {
   process_withdrawals(inbox);
   if (alive_ && first_live_neighbor() == kNoNode) {

@@ -28,7 +28,7 @@ namespace dasm::mm {
 class PointerGreedyNode final : public Node {
  public:
   void reset(NodeId self, bool is_left, std::vector<NodeId> neighbors) override;
-  void on_round(const std::vector<Envelope>& inbox, Network& net) override;
+  void on_round(InboxView inbox, Network& net) override;
   NodeId partner() const override { return partner_; }
   bool quiescent() const override { return !alive_; }
   int rounds_per_iteration() const override { return 3; }
@@ -36,7 +36,7 @@ class PointerGreedyNode final : public Node {
  private:
   enum class Phase { kPropose, kAccept, kResolve };
 
-  void process_withdrawals(const std::vector<Envelope>& inbox);
+  void process_withdrawals(InboxView inbox);
   void mark_dead(NodeId v);
   NodeId first_live_neighbor() const;
   void withdraw_from_others(Network& net);

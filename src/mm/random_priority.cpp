@@ -37,13 +37,13 @@ bool RandomPriorityNode::has_live_neighbor() const {
 }
 
 void RandomPriorityNode::process_withdrawals(
-    const std::vector<Envelope>& inbox) {
+    InboxView inbox) {
   for (const Envelope& e : inbox) {
     if (e.msg.type == MsgType::kMmMatched) mark_dead(e.from);
   }
 }
 
-void RandomPriorityNode::on_round(const std::vector<Envelope>& inbox,
+void RandomPriorityNode::on_round(InboxView inbox,
                                   Network& net) {
   process_withdrawals(inbox);
 

@@ -27,7 +27,7 @@ class RandomPriorityNode final : public Node {
   explicit RandomPriorityNode(Xoshiro256 rng) : rng_(rng) {}
 
   void reset(NodeId self, bool is_left, std::vector<NodeId> neighbors) override;
-  void on_round(const std::vector<Envelope>& inbox, Network& net) override;
+  void on_round(InboxView inbox, Network& net) override;
   NodeId partner() const override { return partner_; }
   bool quiescent() const override { return !alive_; }
   int rounds_per_iteration() const override { return 3; }
@@ -35,7 +35,7 @@ class RandomPriorityNode final : public Node {
  private:
   enum class Phase { kAnnounce, kChoose, kResolve };
 
-  void process_withdrawals(const std::vector<Envelope>& inbox);
+  void process_withdrawals(InboxView inbox);
   void mark_dead(NodeId v);
   bool has_live_neighbor() const;
 

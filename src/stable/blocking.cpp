@@ -27,91 +27,151 @@ std::int64_t rank1(const PreferenceList& pref, NodeId partner) {
   return static_cast<std::int64_t>(r) + 1;
 }
 
-template <typename Predicate>
-std::vector<BlockingPair> collect_pairs(const Instance& inst,
-                                        const Matching& matching,
-                                        Predicate&& blocks) {
+// Streams the pairs satisfying `blocks` to `visit` in (man, rank) order —
+// the single scan behind every public entry point, so the materializing,
+// counting, and early-exit forms cannot drift apart. `man_filter` (when
+// non-null) prunes whole men before their preference lists are touched.
+// `visit` returns false to stop the scan.
+template <typename Predicate, typename Visitor>
+void scan_pairs(const Instance& inst, const Matching& matching,
+                const std::vector<bool>* man_filter, Predicate&& blocks,
+                Visitor&& visit) {
   DASM_CHECK(matching.node_count() == inst.graph().node_count());
-  std::vector<BlockingPair> out;
   for (NodeId m = 0; m < inst.n_men(); ++m) {
+    if (man_filter && !(*man_filter)[static_cast<std::size_t>(m)]) continue;
     const NodeId pm = partner_of_man(inst, matching, m);
     for (NodeId w : inst.man_pref(m).ranked()) {
       if (w == pm) continue;  // matched pairs never block
       const NodeId pw = partner_of_woman(inst, matching, w);
-      if (blocks(m, pm, w, pw)) out.push_back(BlockingPair{m, w});
+      if (blocks(m, pm, w, pw)) {
+        if (!visit(BlockingPair{m, w})) return;
+      }
     }
   }
+}
+
+// Definition 1 predicate: mutual strict preference over current partners.
+auto classic_predicate(const Instance& inst) {
+  return [&inst](NodeId m, NodeId pm, NodeId w, NodeId pw) {
+    return inst.man_pref(m).prefers_over_partner(w, pm) &&
+           inst.woman_pref(w).prefers_over_partner(m, pw);
+  };
+}
+
+// Definition 2 predicate: both rank gaps beat eps times the degree.
+auto eps_predicate(const Instance& inst, double eps) {
+  return [&inst, eps](NodeId m, NodeId pm, NodeId w, NodeId pw) {
+    const auto& mp = inst.man_pref(m);
+    const auto& wp = inst.woman_pref(w);
+    const double man_gap = static_cast<double>(rank1(mp, pm) - rank1(mp, w));
+    const double woman_gap = static_cast<double>(rank1(wp, pw) - rank1(wp, m));
+    return man_gap >= eps * static_cast<double>(mp.degree()) &&
+           woman_gap >= eps * static_cast<double>(wp.degree());
+  };
+}
+
+template <typename Predicate>
+std::vector<BlockingPair> collect_pairs(const Instance& inst,
+                                        const Matching& matching,
+                                        Predicate&& blocks) {
+  std::vector<BlockingPair> out;
+  scan_pairs(inst, matching, nullptr, blocks, [&out](const BlockingPair& bp) {
+    out.push_back(bp);
+    return true;
+  });
   return out;
+}
+
+template <typename Predicate>
+std::optional<BlockingPair> first_pair(const Instance& inst,
+                                       const Matching& matching,
+                                       Predicate&& blocks) {
+  std::optional<BlockingPair> found;
+  scan_pairs(inst, matching, nullptr, blocks, [&found](const BlockingPair& bp) {
+    found = bp;
+    return false;
+  });
+  return found;
+}
+
+template <typename Predicate>
+std::int64_t count_pairs(const Instance& inst, const Matching& matching,
+                         const std::vector<bool>* man_filter,
+                         Predicate&& blocks) {
+  std::int64_t count = 0;
+  scan_pairs(inst, matching, man_filter, blocks, [&count](const BlockingPair&) {
+    ++count;
+    return true;
+  });
+  return count;
 }
 
 }  // namespace
 
 std::vector<BlockingPair> blocking_pairs(const Instance& inst,
                                          const Matching& matching) {
-  return collect_pairs(
-      inst, matching, [&](NodeId m, NodeId pm, NodeId w, NodeId pw) {
-        return inst.man_pref(m).prefers_over_partner(w, pm) &&
-               inst.woman_pref(w).prefers_over_partner(m, pw);
-      });
+  return collect_pairs(inst, matching, classic_predicate(inst));
+}
+
+std::optional<BlockingPair> first_blocking_pair(const Instance& inst,
+                                                const Matching& matching) {
+  return first_pair(inst, matching, classic_predicate(inst));
 }
 
 std::int64_t count_blocking_pairs(const Instance& inst,
                                   const Matching& matching) {
-  return static_cast<std::int64_t>(blocking_pairs(inst, matching).size());
+  return count_pairs(inst, matching, nullptr, classic_predicate(inst));
 }
 
 bool is_stable(const Instance& inst, const Matching& matching) {
-  return blocking_pairs(inst, matching).empty();
+  return !first_blocking_pair(inst, matching).has_value();
 }
 
 bool is_almost_stable(const Instance& inst, const Matching& matching,
                       double eps) {
-  return static_cast<double>(count_blocking_pairs(inst, matching)) <=
-         eps * static_cast<double>(inst.edge_count());
+  // Same decision as comparing the full count against eps * |E|: the count
+  // only grows during the scan, so the first excess witness settles it.
+  const double budget = eps * static_cast<double>(inst.edge_count());
+  std::int64_t count = 0;
+  bool within = true;
+  scan_pairs(inst, matching, nullptr, classic_predicate(inst),
+             [&](const BlockingPair&) {
+               ++count;
+               within = static_cast<double>(count) <= budget;
+               return within;
+             });
+  return within;
 }
 
 std::vector<BlockingPair> eps_blocking_pairs(const Instance& inst,
                                              const Matching& matching,
                                              double eps) {
-  return collect_pairs(
-      inst, matching, [&](NodeId m, NodeId pm, NodeId w, NodeId pw) {
-        const auto& mp = inst.man_pref(m);
-        const auto& wp = inst.woman_pref(w);
-        const double man_gap =
-            static_cast<double>(rank1(mp, pm) - rank1(mp, w));
-        const double woman_gap =
-            static_cast<double>(rank1(wp, pw) - rank1(wp, m));
-        return man_gap >= eps * static_cast<double>(mp.degree()) &&
-               woman_gap >= eps * static_cast<double>(wp.degree());
-      });
+  return collect_pairs(inst, matching, eps_predicate(inst, eps));
+}
+
+std::optional<BlockingPair> first_eps_blocking_pair(const Instance& inst,
+                                                    const Matching& matching,
+                                                    double eps) {
+  return first_pair(inst, matching, eps_predicate(inst, eps));
 }
 
 std::int64_t count_eps_blocking_pairs(const Instance& inst,
                                       const Matching& matching, double eps) {
-  return static_cast<std::int64_t>(
-      eps_blocking_pairs(inst, matching, eps).size());
+  return count_pairs(inst, matching, nullptr, eps_predicate(inst, eps));
 }
 
 std::int64_t count_eps_blocking_pairs_among(
     const Instance& inst, const Matching& matching, double eps,
     const std::vector<bool>& man_filter) {
   DASM_CHECK(static_cast<NodeId>(man_filter.size()) == inst.n_men());
-  std::int64_t count = 0;
-  for (const BlockingPair& bp : eps_blocking_pairs(inst, matching, eps)) {
-    if (man_filter[static_cast<std::size_t>(bp.man)]) ++count;
-  }
-  return count;
+  return count_pairs(inst, matching, &man_filter, eps_predicate(inst, eps));
 }
 
 std::int64_t count_blocking_pairs_among(const Instance& inst,
                                         const Matching& matching,
                                         const std::vector<bool>& man_filter) {
   DASM_CHECK(static_cast<NodeId>(man_filter.size()) == inst.n_men());
-  std::int64_t count = 0;
-  for (const BlockingPair& bp : blocking_pairs(inst, matching)) {
-    if (man_filter[static_cast<std::size_t>(bp.man)]) ++count;
-  }
-  return count;
+  return count_pairs(inst, matching, &man_filter, classic_predicate(inst));
 }
 
 std::int64_t validate_matching(const Instance& inst,

@@ -1,9 +1,18 @@
 // Blocking-pair verification: Definition 1 ((1-eps)-stability) and
 // Definition 2 (eps-blocking pairs), plus helpers the experiments use to
 // audit the good/bad-men structure of §4.
+//
+// All predicates stream over the edge set in (man, rank) order. The
+// vector-returning functions materialize every witness; the count_* /
+// is_* / first_* forms never build the vector — they count in place, stop
+// at the first witness, or stop at the decision threshold, and the filter
+// of the *_among forms is pushed into the scan so filtered-out men skip
+// their whole preference list. All forms agree exactly with the
+// materializing ones (same scan order, same predicate arithmetic).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/matching.hpp"
@@ -27,13 +36,19 @@ struct BlockingPair {
 std::vector<BlockingPair> blocking_pairs(const Instance& inst,
                                          const Matching& matching);
 
+/// The first blocking pair in (man, rank) scan order, or nullopt. This is
+/// the early-exit witness test behind is_stable().
+std::optional<BlockingPair> first_blocking_pair(const Instance& inst,
+                                                const Matching& matching);
+
 std::int64_t count_blocking_pairs(const Instance& inst,
                                   const Matching& matching);
 
 /// True iff the matching induces no blocking pairs.
 bool is_stable(const Instance& inst, const Matching& matching);
 
-/// Definition 1: blocking pairs <= eps * |E|.
+/// Definition 1: blocking pairs <= eps * |E|. Stops scanning as soon as
+/// the count exceeds the budget.
 bool is_almost_stable(const Instance& inst, const Matching& matching,
                       double eps);
 
@@ -44,6 +59,11 @@ bool is_almost_stable(const Instance& inst, const Matching& matching,
 std::vector<BlockingPair> eps_blocking_pairs(const Instance& inst,
                                              const Matching& matching,
                                              double eps);
+
+/// The first eps-blocking pair in (man, rank) scan order, or nullopt.
+std::optional<BlockingPair> first_eps_blocking_pair(const Instance& inst,
+                                                    const Matching& matching,
+                                                    double eps);
 
 std::int64_t count_eps_blocking_pairs(const Instance& inst,
                                       const Matching& matching, double eps);

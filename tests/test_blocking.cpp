@@ -168,6 +168,71 @@ TEST(BlockingFilters, CountAmongSelectedMen) {
   EXPECT_EQ(count_eps_blocking_pairs_among(inst, unstable, 0.5, only_m1), 1);
 }
 
+TEST(StreamingPaths, FirstWitnessMatchesMaterializedScan) {
+  const Instance inst = two_by_two();
+  const Matching stable = make_matching(inst, {{1, 0}, {0, 1}});
+  EXPECT_FALSE(first_blocking_pair(inst, stable).has_value());
+  EXPECT_FALSE(first_eps_blocking_pair(inst, stable, 0.0).has_value());
+
+  const Matching unstable = make_matching(inst, {{0, 0}, {1, 1}});
+  const auto first = first_blocking_pair(inst, unstable);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, blocking_pairs(inst, unstable).front());
+}
+
+class StreamingEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingEquivalence, AgreesWithMaterializingPathsEverywhere) {
+  // The early-exit / counting / filtered forms must be bit-identical to
+  // materializing the full witness vector and post-processing it.
+  const Instance inst = gen::incomplete_uniform(12, 12, 0.4, GetParam());
+  Xoshiro256 rng(GetParam() + 17);
+  const Matching m = mm::greedy_maximal_matching(inst.graph().graph(), rng);
+
+  const auto classic = blocking_pairs(inst, m);
+  EXPECT_EQ(count_blocking_pairs(inst, m),
+            static_cast<std::int64_t>(classic.size()));
+  EXPECT_EQ(is_stable(inst, m), classic.empty());
+  if (classic.empty()) {
+    EXPECT_FALSE(first_blocking_pair(inst, m).has_value());
+  } else {
+    ASSERT_TRUE(first_blocking_pair(inst, m).has_value());
+    EXPECT_EQ(*first_blocking_pair(inst, m), classic.front());
+  }
+  for (const double eps : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    const auto eps_vec = eps_blocking_pairs(inst, m, eps);
+    EXPECT_EQ(count_eps_blocking_pairs(inst, m, eps),
+              static_cast<std::int64_t>(eps_vec.size()));
+    if (eps_vec.empty()) {
+      EXPECT_FALSE(first_eps_blocking_pair(inst, m, eps).has_value());
+    } else {
+      EXPECT_EQ(*first_eps_blocking_pair(inst, m, eps), eps_vec.front());
+    }
+    EXPECT_EQ(is_almost_stable(inst, m, eps),
+              static_cast<double>(classic.size()) <=
+                  eps * static_cast<double>(inst.edge_count()));
+
+    // Pushed-down filter vs. post-hoc filtering of the full vector.
+    std::vector<bool> filter(static_cast<std::size_t>(inst.n_men()));
+    for (std::size_t i = 0; i < filter.size(); ++i) {
+      filter[i] = rng.bernoulli(0.5);
+    }
+    std::int64_t post_hoc = 0;
+    for (const auto& bp : eps_vec) {
+      if (filter[static_cast<std::size_t>(bp.man)]) ++post_hoc;
+    }
+    EXPECT_EQ(count_eps_blocking_pairs_among(inst, m, eps, filter), post_hoc);
+    std::int64_t classic_post_hoc = 0;
+    for (const auto& bp : classic) {
+      if (filter[static_cast<std::size_t>(bp.man)]) ++classic_post_hoc;
+    }
+    EXPECT_EQ(count_blocking_pairs_among(inst, m, filter), classic_post_hoc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalence,
+                         ::testing::Values(11, 12, 13, 14));
+
 TEST(ValidateMatching, CatchesCorruptMatchings) {
   const Instance inst = two_by_two();
   Matching wrong_space(3);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/check.hpp"
+#include "util/prng.hpp"
 
 namespace dasm {
 namespace {
@@ -197,6 +200,95 @@ TEST(NetworkTest, TraceCapDropsOldest) {
   EXPECT_EQ(net.trace()[0].msg.a, 1);  // event 0 was dropped
   net.enable_trace(0);
   EXPECT_TRUE(net.trace().empty());
+}
+
+TEST(NetworkTest, TraceFiveTimesOverCapKeepsNewest) {
+  // Regression for the O(cap) erase-from-front eviction: a 5x over-cap
+  // trace must retain exactly the newest `cap` events (ring-buffer
+  // semantics) and account for every dropped one.
+  const std::size_t cap = 4;
+  const int total = static_cast<int>(cap) * 5;
+  Network net(triangle());
+  net.enable_trace(cap);
+  for (int i = 0; i < total; ++i) {
+    net.begin_round();
+    net.send(0, 1, Message{MsgType::kPropose, i});
+    net.end_round();
+  }
+  const auto events = net.trace();
+  ASSERT_EQ(events.size(), cap);
+  EXPECT_EQ(net.dropped_trace_events(),
+            static_cast<std::int64_t>(total - static_cast<int>(cap)));
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(events[i].msg.a,
+              static_cast<std::int64_t>(total - static_cast<int>(cap) + i));
+    EXPECT_EQ(events[i].round,
+              static_cast<Round>(total - static_cast<int>(cap) + i));
+  }
+}
+
+TEST(NetworkTest, StatsAndInboxesMatchReferenceModelOnRandomSchedule) {
+  // Drives the arena engine with a randomized message schedule and checks
+  // it against a straightforward vector-of-vectors reference model:
+  // inbox contents (values and order), last_round_was_silent(), and every
+  // NetStats field must agree at each round.
+  Xoshiro256 rng(20260806);
+  const std::size_t n = 24;
+  std::vector<std::vector<NodeId>> adj(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (!rng.bernoulli(0.35)) continue;
+      adj[u].push_back(static_cast<NodeId>(v));
+      adj[v].push_back(static_cast<NodeId>(u));
+    }
+  }
+  Network net(adj);
+
+  NetStats expected;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::vector<Envelope>> ref_inbox(n);
+    bool any = false;
+    net.begin_round();
+    for (std::size_t u = 0; u < n; ++u) {
+      for (NodeId v : net.neighbors(static_cast<NodeId>(u))) {
+        if (!rng.bernoulli(0.4)) continue;
+        const auto type = static_cast<MsgType>(rng.below(4));
+        const Message msg{type, rng.range(-64, 1 << 16),
+                          rng.range(0, 1 << 10)};
+        net.send(static_cast<NodeId>(u), v, msg);
+        ref_inbox[static_cast<std::size_t>(v)].push_back(
+            Envelope{static_cast<NodeId>(u), msg});
+        any = true;
+        ++expected.messages;
+        ++expected.messages_by_type[static_cast<std::size_t>(type)];
+        expected.bits += msg.encoded_bits();
+        expected.max_message_bits =
+            std::max(expected.max_message_bits, msg.encoded_bits());
+      }
+    }
+    net.end_round();
+    ++expected.executed_rounds;
+    ++expected.scheduled_rounds;
+
+    EXPECT_EQ(net.last_round_was_silent(), !any) << "round " << round;
+    for (std::size_t v = 0; v < n; ++v) {
+      const InboxView got = net.inbox(static_cast<NodeId>(v));
+      ASSERT_EQ(got.size(), ref_inbox[v].size())
+          << "round " << round << " node " << v;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], ref_inbox[v][i])
+            << "round " << round << " node " << v << " slot " << i;
+      }
+    }
+    const NetStats& s = net.stats();
+    EXPECT_EQ(s.executed_rounds, expected.executed_rounds);
+    EXPECT_EQ(s.scheduled_rounds, expected.scheduled_rounds);
+    EXPECT_EQ(s.messages, expected.messages);
+    EXPECT_EQ(s.bits, expected.bits);
+    EXPECT_EQ(s.max_message_bits, expected.max_message_bits);
+    EXPECT_EQ(s.messages_by_type, expected.messages_by_type);
+  }
+  EXPECT_GT(net.stats().messages, 0);
 }
 
 TEST(NetworkTest, ChargeScheduledRounds) {

@@ -23,6 +23,7 @@
 
 #include "bench_common.hpp"
 #include "congest/network.hpp"
+#include "par/sweep.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
 
@@ -226,14 +227,6 @@ Throughput time_saturated(Engine& eng,
                     static_cast<double>(msgs) / secs};
 }
 
-bool stats_equal(const NetStats& a, const NetStats& b) {
-  return a.executed_rounds == b.executed_rounds &&
-         a.scheduled_rounds == b.scheduled_rounds &&
-         a.messages == b.messages && a.bits == b.bits &&
-         a.max_message_bits == b.max_message_bits &&
-         a.messages_by_type == b.messages_by_type;
-}
-
 // Drives both engines through the same randomized schedule and verifies
 // bit-for-bit agreement of inboxes, stats, and the silent flag.
 bool engines_agree(const std::vector<std::vector<NodeId>>& adj, int rounds,
@@ -267,13 +260,13 @@ bool engines_agree(const std::vector<std::vector<NodeId>>& adj, int rounds,
       }
     }
   }
-  return stats_equal(arena.stats(), legacy.stats());
+  return arena.stats() == legacy.stats();
 }
 
 }  // namespace
 }  // namespace dasm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dasm;
   bench::print_header(
       "A6",
@@ -326,10 +319,26 @@ int main() {
   }
   table.print(std::cout);
 
-  // Equivalence: both engines, same randomized schedules.
+  // Equivalence: both engines, same randomized schedules. The independent
+  // (graph, seed) cells run on a SweepRunner (--threads N); the verdict
+  // AND-reduces the cell results in index order.
+  struct AgreeCell {
+    std::vector<std::vector<NodeId>> adj;
+    std::uint64_t seed;
+  };
+  std::vector<AgreeCell> agree_cells;
+  agree_cells.push_back({complete_bipartite(24), 1});
+  agree_cells.push_back({circulant(512, 6), 2});
+  par::SweepRunner sweep(bench::thread_count(argc, argv));
+  // int cells, not bool: vector<bool> packs slots into shared words, which
+  // concurrent cell writes would race on.
+  const auto agreement = sweep.map<int>(
+      static_cast<std::int64_t>(agree_cells.size()), [&](std::int64_t i) {
+        const AgreeCell& cell = agree_cells[static_cast<std::size_t>(i)];
+        return engines_agree(cell.adj, 60, cell.seed) ? 1 : 0;
+      });
   bool agree = true;
-  agree = agree && engines_agree(complete_bipartite(24), 60, 1);
-  agree = agree && engines_agree(circulant(512, 6), 60, 2);
+  for (const int cell_ok : agreement) agree = agree && cell_ok != 0;
   std::cout << "\n";
   bench::print_verdict(agree,
                        "inboxes, NetStats, and silent flags bit-identical "

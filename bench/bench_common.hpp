@@ -11,8 +11,10 @@
 #include <string>
 
 #include "gen/generators.hpp"
+#include "par/thread_pool.hpp"
 #include "stable/instance.hpp"
 #include "util/check.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace dasm::bench {
@@ -20,6 +22,16 @@ namespace dasm::bench {
 inline bool large_mode() {
   const char* v = std::getenv("DASM_BENCH_LARGE");
   return v != nullptr && std::string(v) != "0";
+}
+
+/// Sweep worker threads from the --threads flag (Layer 2 of the parallel
+/// engine; DESIGN.md §6). Absent or <= 0 selects hardware concurrency;
+/// --threads 1 reproduces the old serial sweep byte for byte (the sweeps
+/// aggregate in cell-index order, so every value prints the same tables).
+inline int thread_count(int argc, const char* const* argv) {
+  const Cli cli(argc, argv);
+  const auto threads = cli.get_int("threads", 0);
+  return threads > 0 ? static_cast<int>(threads) : par::hardware_threads();
 }
 
 inline void print_header(const std::string& id, const std::string& claim,

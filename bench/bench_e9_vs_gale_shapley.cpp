@@ -3,11 +3,17 @@
 // while the (1 - eps) guarantee is reached under a round budget that does
 // not grow with n. This is the paper's core trade: approximation buys
 // round complexity.
+//
+// Both tables run their independent cells on a SweepRunner (Layer 2 of
+// the parallel engine; --threads N) — the per-n chain cells in one grid,
+// the uniform (n, seed) cells in another — and aggregate in index order,
+// so the printed tables are identical at every thread count.
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
+#include "par/sweep.hpp"
 #include "stable/blocking.hpp"
 #include "stable/distributed_gs.hpp"
 #include "util/stats.hpp"
@@ -31,9 +37,20 @@ std::int64_t rounds_to_guarantee(const dasm::Instance& inst, double eps) {
   }
 }
 
+struct ChainResult {
+  std::int64_t gs_rounds = 0;
+  std::int64_t asm_rounds = 0;
+};
+
+struct UniformResult {
+  double gs_exec = 0;
+  double asm_exec = 0;
+  double sweeps = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dasm;
   bench::print_header(
       "E9",
@@ -46,22 +63,31 @@ int main() {
   std::vector<NodeId> sizes{64, 128, 256, 512};
   if (bench::large_mode()) sizes.push_back(1024);
 
+  par::SweepRunner sweep(bench::thread_count(argc, argv));
+
   std::cout << "adversarial displacement chain:\n";
+  const auto chain_cells = sweep.map<ChainResult>(
+      static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
+        const Instance inst =
+            gen::gs_displacement_chain(sizes[static_cast<std::size_t>(i)]);
+        ChainResult out;
+        out.gs_rounds = distributed_gale_shapley(inst).net.executed_rounds;
+        out.asm_rounds = rounds_to_guarantee(inst, eps);
+        return out;
+      });
   Table chain({"n", "GS rounds(exact)", "ASM rounds(to eps-guarantee)",
                "GS/ASM"});
   std::vector<double> xs;
   std::vector<double> gs_rounds;
   std::vector<double> asm_rounds;
-  for (const NodeId n : sizes) {
-    const Instance inst = gen::gs_displacement_chain(n);
-    const auto dgs = distributed_gale_shapley(inst);
-    const std::int64_t asm_r = rounds_to_guarantee(inst, eps);
-    xs.push_back(static_cast<double>(n));
-    gs_rounds.push_back(static_cast<double>(dgs.net.executed_rounds));
-    asm_rounds.push_back(static_cast<double>(asm_r));
-    chain.add_row({Table::num((long long)n),
-                   Table::num(dgs.net.executed_rounds),
-                   Table::num((long long)asm_r),
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const ChainResult& r = chain_cells[i];
+    xs.push_back(static_cast<double>(sizes[i]));
+    gs_rounds.push_back(static_cast<double>(r.gs_rounds));
+    asm_rounds.push_back(static_cast<double>(r.asm_rounds));
+    chain.add_row({Table::num((long long)sizes[i]),
+                   Table::num(r.gs_rounds),
+                   Table::num((long long)r.asm_rounds),
                    Table::num(gs_rounds.back() / asm_rounds.back(), 1)});
   }
   chain.print(std::cout);
@@ -71,24 +97,42 @@ int main() {
             << asm_fit.slope << "\n\n";
 
   std::cout << "uniform complete preferences (typical case):\n";
+  const std::vector<NodeId> uniform_sizes{64, 128, 256};
+  const int uniform_seeds = 3;
+  const auto uniform_cells = sweep.map<UniformResult>(
+      static_cast<std::int64_t>(uniform_sizes.size()) * uniform_seeds,
+      [&](std::int64_t i) {
+        const NodeId n = uniform_sizes[static_cast<std::size_t>(
+            i / uniform_seeds)];
+        const int s = static_cast<int>(i % uniform_seeds) + 1;
+        const Instance inst =
+            bench::make_family("complete", n, static_cast<std::uint64_t>(s));
+        const auto dgs = distributed_gale_shapley(inst);
+        core::AsmParams params;
+        params.epsilon = eps;
+        const auto r = core::run_asm(inst, params);
+        UniformResult out;
+        out.gs_exec = static_cast<double>(dgs.net.executed_rounds);
+        out.asm_exec = static_cast<double>(r.net.executed_rounds);
+        out.sweeps = static_cast<double>(dgs.sweeps);
+        return out;
+      });
   Table uniform({"n", "GS rounds(exact)", "ASM rounds(exec, full run)",
                  "GS sweeps"});
-  for (const NodeId n : std::vector<NodeId>{64, 128, 256}) {
+  for (std::size_t ni = 0; ni < uniform_sizes.size(); ++ni) {
     Summary gs_sum;
     Summary asm_sum;
     Summary sweeps;
-    for (int s = 1; s <= 3; ++s) {
-      const Instance inst =
-          bench::make_family("complete", n, static_cast<std::uint64_t>(s));
-      const auto dgs = distributed_gale_shapley(inst);
-      gs_sum.add(static_cast<double>(dgs.net.executed_rounds));
-      sweeps.add(static_cast<double>(dgs.sweeps));
-      core::AsmParams params;
-      params.epsilon = eps;
-      const auto r = core::run_asm(inst, params);
-      asm_sum.add(static_cast<double>(r.net.executed_rounds));
+    for (int s = 1; s <= uniform_seeds; ++s) {
+      const UniformResult& r =
+          uniform_cells[ni * static_cast<std::size_t>(uniform_seeds) +
+                        static_cast<std::size_t>(s - 1)];
+      gs_sum.add(r.gs_exec);
+      sweeps.add(r.sweeps);
+      asm_sum.add(r.asm_exec);
     }
-    uniform.add_row({Table::num((long long)n), Table::num(gs_sum.mean(), 1),
+    uniform.add_row({Table::num((long long)uniform_sizes[ni]),
+                     Table::num(gs_sum.mean(), 1),
                      Table::num(asm_sum.mean(), 1),
                      Table::num(sweeps.mean(), 1)});
   }

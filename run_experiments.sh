@@ -1,27 +1,60 @@
 #!/bin/sh
 # Regenerates every experiment table in EXPERIMENTS.md.
 #
-#   ./run_experiments.sh [output-file]
-#   ./run_experiments.sh --check     # ASan+UBSan build + full ctest suite
+#   ./run_experiments.sh [output-file] [--threads N]
+#   ./run_experiments.sh --check     # sanitizer gate (ASan+UBSan, then TSan)
+#
+# --threads N sets the sweep worker count of every bench binary (Layer 2
+# of the parallel engine); absent or 0 selects hardware concurrency, and
+# 1 reproduces the old serial sweeps byte for byte.
 #
 # DASM_BENCH_LARGE=1 enlarges the sweeps (slower, same shapes).
 set -e
 
 if [ "${1:-}" = "--check" ]; then
-  # Sanitizer gate: the arena engine's pointer-flipping delivery path and
+  # Sanitizer gate 1: the arena engine's pointer-flipping delivery path and
   # every protocol on top of it run under ASan+UBSan.
   cmake --preset asan
   cmake --build --preset asan
   ctest --preset asan -j "$(nproc 2>/dev/null || echo 4)"
+  # Sanitizer gate 2: the parallel round engine (send lanes, thread pool,
+  # sweep runner) runs under TSan; the preset filters to the network and
+  # parallel-engine suites, which drive every multi-threaded code path.
+  cmake --preset tsan
+  cmake --build --preset tsan
+  ctest --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
   exit 0
 fi
 
-out="${1:-experiments_output.txt}"
+out=""
+threads=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threads)
+      threads="$2"
+      shift 2
+      ;;
+    --threads=*)
+      threads="${1#--threads=}"
+      shift
+      ;;
+    *)
+      out="$1"
+      shift
+      ;;
+  esac
+done
+out="${out:-experiments_output.txt}"
+
 cmake -B build -G Ninja
 cmake --build build
 : > "$out"
 for b in build/bench/bench_*; do
   echo "##### $b" | tee -a "$out"
-  "$b" 2>&1 | tee -a "$out"
+  case "$b" in
+    # google-benchmark binaries reject flags they don't know.
+    *bench_e12*) "$b" 2>&1 | tee -a "$out" ;;
+    *) "$b" --threads "$threads" 2>&1 | tee -a "$out" ;;
+  esac
 done
 echo "wrote $out"

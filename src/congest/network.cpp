@@ -4,9 +4,22 @@
 #include <bit>
 #include <cmath>
 
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace dasm {
+
+NetStats& NetStats::operator+=(const NetStats& other) {
+  executed_rounds += other.executed_rounds;
+  scheduled_rounds += other.scheduled_rounds;
+  messages += other.messages;
+  bits += other.bits;
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  for (std::size_t i = 0; i < messages_by_type.size(); ++i) {
+    messages_by_type[i] += other.messages_by_type[i];
+  }
+  return *this;
+}
 
 static_assert(static_cast<std::size_t>(MsgType::kBcast) <
                   std::tuple_size_v<decltype(NetStats::messages_by_type)>,
@@ -119,6 +132,9 @@ void Network::begin_round() {
 void Network::send(NodeId from, NodeId to, const Message& msg) {
   DASM_CHECK_MSG(round_open_, "send() outside begin_round()/end_round()");
   DASM_CHECK(from >= 0 && from < node_count());
+  // The model checks run at send time even in parallel rounds: the stamp
+  // region of `from` is written only by the pool worker that owns `from`,
+  // so no two threads touch the same slot.
   auto& stamp = sent_stamp_[edge_slot(from, to)];
   DASM_CHECK_MSG(stamp != round_serial_,
                  "two messages on directed edge " << from << " -> " << to
@@ -128,6 +144,20 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
   DASM_CHECK_MSG(bits <= bit_budget_,
                  "message " << to_debug_string(msg) << " is " << bits
                             << " bits; CONGEST budget is " << bit_budget_);
+  DASM_DCHECK(static_cast<std::size_t>(msg.type) <
+              stats_.messages_by_type.size());
+  if (lane_count_ > 1) {
+    const int worker = par::ThreadPool::current_worker();
+    DASM_DCHECK(worker >= 0 && worker < lane_count_);
+    lanes_[static_cast<std::size_t>(worker)].staged.push_back(
+        PendingSend{from, to, bits, msg});
+    return;
+  }
+  commit_send(from, to, bits, msg);
+}
+
+void Network::commit_send(NodeId from, NodeId to, int bits,
+                          const Message& msg) {
   if (trace_cap_ > 0) {
     const TraceEvent event{stats_.executed_rounds, from, to, msg};
     if (trace_size_ < trace_cap_) {
@@ -153,8 +183,35 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
   stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
 }
 
+void Network::set_send_lanes(int lanes) {
+  DASM_CHECK_MSG(!round_open_, "set_send_lanes() while a round is open");
+  DASM_CHECK_MSG(lanes >= 1, "send lane count must be >= 1");
+  lane_count_ = lanes;
+  lanes_.clear();
+  if (lanes > 1) {
+    lanes_.resize(static_cast<std::size_t>(lanes));
+    // A lane holds roughly one static chunk's share of a saturated round;
+    // imbalanced chunks grow their lane once and keep the capacity.
+    const std::size_t hint =
+        slot_offset_.back() / static_cast<std::size_t>(lanes) + 16;
+    for (SendLane& lane : lanes_) lane.staged.reserve(hint);
+  }
+}
+
+void Network::flush_lanes() {
+  if (lane_count_ <= 1) return;
+  DASM_CHECK_MSG(round_open_, "flush_lanes() outside a round");
+  for (SendLane& lane : lanes_) {
+    for (const PendingSend& s : lane.staged) {
+      commit_send(s.from, s.to, s.bits, s.msg);
+    }
+    lane.staged.clear();
+  }
+}
+
 void Network::end_round() {
   DASM_CHECK_MSG(round_open_, "end_round() without begin_round()");
+  flush_lanes();
   round_open_ = false;
   // Retire the arena that was readable this round: reset only the slots
   // that held messages, then flip. No container grows or shrinks here, so

@@ -33,6 +33,7 @@
 
 #include "congest/message.hpp"
 #include "congest/types.hpp"
+#include "util/check.hpp"
 
 namespace dasm {
 
@@ -70,8 +71,17 @@ struct NetStats {
   std::array<std::int64_t, 16> messages_by_type{};
 
   std::int64_t count_of(MsgType type) const {
-    return messages_by_type[static_cast<std::size_t>(type)];
+    const auto idx = static_cast<std::size_t>(type);
+    DASM_DCHECK(idx < messages_by_type.size());
+    return messages_by_type[idx];
   }
+
+  /// Merges the traffic of another execution into this one — the
+  /// aggregation step of a sweep over independent (instance, seed, params)
+  /// cells. Counters add; max_message_bits takes the max.
+  NetStats& operator+=(const NetStats& other);
+
+  friend bool operator==(const NetStats&, const NetStats&) = default;
 };
 
 class Network {
@@ -98,7 +108,33 @@ class Network {
 
   /// Closes the round: delivers this round's messages into the inboxes
   /// read during the next round and updates statistics. Allocation-free.
+  /// If send lanes are active, any still-staged sends are flushed first.
   void end_round();
+
+  /// Parallel execution support (Layer 1; see DESIGN.md §6). With `lanes`
+  /// > 1, send() stages each message in the lane of the calling pool
+  /// worker (par::ThreadPool::current_worker()) instead of committing it
+  /// immediately; flush_lanes() / end_round() then commits the staged
+  /// sends lane by lane in worker order. Because the thread pool's static
+  /// chunking assigns worker w the w-th contiguous block of node ids, the
+  /// lane-order merge reproduces the node-id-major sequential send order
+  /// exactly — inbox contents, NetStats, trace events, and the silent
+  /// flag are bit-identical to a serial execution at every lane count.
+  /// Contract: during a parallel round, net.send(from, ...) must be
+  /// called by the worker whose chunk owns `from` (which is what a
+  /// parallel_for over the players does by construction).
+  /// Pass 1 to return to direct (serial) sends. Only callable between
+  /// rounds.
+  void set_send_lanes(int lanes);
+  int send_lanes() const { return lane_count_; }
+
+  /// Commits every staged send into the delivery arena, stats, and trace,
+  /// in lane order, and empties the lanes. end_round() calls this
+  /// automatically; engines call it between sub-loops of a single round
+  /// whose sequential send orders must not interleave (e.g. the men's
+  /// loop before the women's loop of an MM round). No-op when lanes are
+  /// inactive.
+  void flush_lanes();
 
   /// Messages delivered to v by the most recent end_round(), in send-call
   /// order. The view is invalidated by the next end_round().
@@ -133,6 +169,21 @@ class Network {
     std::vector<NodeId> dirty;
   };
 
+  // A send staged by one pool worker during a parallel round. The bit
+  // size is computed (and budget-checked) at send time so the commit loop
+  // stays a straight-line copy into the arena.
+  struct PendingSend {
+    NodeId from;
+    NodeId to;
+    int bits;
+    Message msg;
+  };
+  // Cache-line aligned so two workers pushing into adjacent lanes never
+  // contend on the vector headers.
+  struct alignas(64) SendLane {
+    std::vector<PendingSend> staged;
+  };
+
   std::vector<std::vector<NodeId>> adj_;  // sorted neighbour lists
   std::vector<std::size_t> slot_offset_;  // CSR offsets, size n + 1
   std::array<Arena, 2> arenas_;
@@ -147,6 +198,8 @@ class Network {
   std::vector<std::uint32_t> port_mask_; // region size - 1 per node
   std::vector<std::int64_t> sent_stamp_; // parallel to port_key_
   std::int64_t round_serial_ = 0;
+  std::vector<SendLane> lanes_;
+  int lane_count_ = 1;
   bool round_open_ = false;
   bool last_round_silent_ = true;
   int bit_budget_ = 0;
@@ -160,6 +213,7 @@ class Network {
   std::int64_t trace_dropped_ = 0;
 
   std::size_t edge_slot(NodeId from, NodeId to) const;
+  void commit_send(NodeId from, NodeId to, int bits, const Message& msg);
 };
 
 }  // namespace dasm

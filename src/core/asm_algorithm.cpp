@@ -37,6 +37,14 @@ AsmEngine::AsmEngine(const Instance& inst, const AsmParams& params)
                         player_k(inst.woman_pref(w)),
                         make_mm(bg.woman_id(w)));
   }
+  DASM_CHECK_MSG(params.threads >= 0, "AsmParams::threads must be >= 0");
+  const int threads =
+      params.threads == 0 ? par::hardware_threads() : params.threads;
+  if (threads > 1) {
+    pool_ = std::make_unique<par::ThreadPool>(threads);
+    net_.set_send_lanes(threads);
+  }
+  if (params.net_trace_events > 0) net_.enable_trace(params.net_trace_events);
 }
 
 NodeId g0_degree_bound(const Instance& inst, NodeId k) {
@@ -87,7 +95,9 @@ AsmResult AsmEngine::run() {
   for (int i = 0; i < sched_.outer; ++i) {
     const std::int64_t threshold =
         params_.gate_by_degree ? (std::int64_t{1} << std::min(i, 62)) : 1;
-    for (auto& man : men_) man.set_outer_gate(threshold);
+    for_each_man([&](NodeId m) {
+      men_[static_cast<std::size_t>(m)].set_outer_gate(threshold);
+    });
 
     for (std::int64_t j = 0; j < sched_.inner; ++j) {
       const bool moved = run_quantile_match();
@@ -117,6 +127,7 @@ AsmResult AsmEngine::build_result() {
   result.mm_rounds_executed = mm_rounds_executed_;
   result.mm_iterations_peak = mm_iterations_peak_;
   result.trace = std::move(trace_);
+  if (params_.net_trace_events > 0) result.net_trace = net_.trace();
 
   const auto& bg = inst_->graph();
   Matching matching(bg.node_count());

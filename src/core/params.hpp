@@ -83,6 +83,18 @@ struct AsmParams {
   /// quality-versus-round-budget experiments (E9, E10) — the anytime
   /// behaviour the approximation guarantee buys.
   std::int64_t max_rounds = 0;
+
+  /// Worker threads stepping players inside each CONGEST round (Layer 1
+  /// of the parallel engine; DESIGN.md §6). 1 = the serial engine, 0 =
+  /// hardware concurrency. Every value yields bit-identical results —
+  /// the network's per-thread send lanes merge in node-id-major order,
+  /// and randomized backends draw from per-node PRNG streams.
+  int threads = 1;
+
+  /// Record the last `net_trace_events` network transmissions (a
+  /// fixed-capacity ring; see Network::enable_trace) into
+  /// AsmResult::net_trace. 0 disables recording.
+  std::size_t net_trace_events = 0;
 };
 
 }  // namespace dasm::core

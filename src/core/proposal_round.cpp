@@ -32,17 +32,20 @@ int AsmEngine::run_mm_phase() {
     for (int r = 0; r < rpi; ++r) {
       const bool first = iterations == 0 && r == 0;
       net_.begin_round();
-      for (NodeId m = 0; m < inst_->n_men(); ++m) {
+      for_each_man([&](NodeId m) {
         auto& man = men_[static_cast<std::size_t>(m)];
-        const auto& inbox = net_.inbox(bg.man_id(m));
+        const auto inbox = net_.inbox(bg.man_id(m));
         first ? man.mm_first_round(inbox, net_) : man.mm_round(inbox, net_);
-      }
-      for (NodeId w = 0; w < inst_->n_women(); ++w) {
+      });
+      // Sequentially every man sends before any woman: flush the men's
+      // staged sends so the two sub-loops' commit orders don't interleave.
+      net_.flush_lanes();
+      for_each_woman([&](NodeId w) {
         auto& woman = women_[static_cast<std::size_t>(w)];
-        const auto& inbox = net_.inbox(bg.woman_id(w));
+        const auto inbox = net_.inbox(bg.woman_id(w));
         first ? woman.mm_first_round(inbox, net_)
               : woman.mm_round(inbox, net_);
-      }
+      });
       net_.end_round();
       ++mm_rounds_executed_;
     }
@@ -66,9 +69,8 @@ bool AsmEngine::run_proposal_round() {
 
   // Step 1: men propose to their active sets.
   net_.begin_round();
-  for (NodeId m = 0; m < inst_->n_men(); ++m) {
-    men_[static_cast<std::size_t>(m)].propose_round(net_);
-  }
+  for_each_man(
+      [&](NodeId m) { men_[static_cast<std::size_t>(m)].propose_round(net_); });
   net_.end_round();
   ++proposal_rounds_executed_;
 
@@ -82,10 +84,10 @@ bool AsmEngine::run_proposal_round() {
 
   // Step 2: women accept their best proposing quantile.
   net_.begin_round();
-  for (NodeId w = 0; w < inst_->n_women(); ++w) {
-    women_[static_cast<std::size_t>(w)].accept_round(
-        net_.inbox(bg.woman_id(w)), net_);
-  }
+  for_each_woman([&](NodeId w) {
+    women_[static_cast<std::size_t>(w)].accept_round(net_.inbox(bg.woman_id(w)),
+                                                     net_);
+  });
   net_.end_round();
 
   // Step 3: maximal matching on the accepted-proposal graph G0.
@@ -96,18 +98,18 @@ bool AsmEngine::run_proposal_round() {
   // delivery (equivalent to processing them at the start of their next
   // round, which is when a real processor would act on them).
   net_.begin_round();
-  for (NodeId m = 0; m < inst_->n_men(); ++m) {
+  for_each_man([&](NodeId m) {
     auto& man = men_[static_cast<std::size_t>(m)];
     man.resolve_round();
     if (params_.drop_unsatisfied_men) man.drop_if_unsatisfied();
-  }
-  for (NodeId w = 0; w < inst_->n_women(); ++w) {
+  });
+  for_each_woman([&](NodeId w) {
     women_[static_cast<std::size_t>(w)].resolve_round(net_);
-  }
+  });
   net_.end_round();
-  for (NodeId m = 0; m < inst_->n_men(); ++m) {
+  for_each_man([&](NodeId m) {
     men_[static_cast<std::size_t>(m)].finalize(net_.inbox(bg.man_id(m)));
-  }
+  });
 
   return net_.stats().messages > msgs_before;
 }

@@ -5,7 +5,9 @@
 namespace dasm::core {
 
 bool AsmEngine::run_quantile_match() {
-  for (auto& man : men_) man.begin_quantile_match();
+  for_each_man([&](NodeId m) {
+    men_[static_cast<std::size_t>(m)].begin_quantile_match();
+  });
 
   bool any_message = false;
   for (NodeId pr = 0; pr < sched_.k; ++pr) {

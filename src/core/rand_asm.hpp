@@ -23,6 +23,12 @@ struct RandAsmParams {
   double decay = 0.75;
   bool record_trace = false;
   bool trim_quiescent_phases = true;
+  /// Intra-round worker threads (see AsmParams::threads); seed-stable at
+  /// every value because each Israeli–Itai node draws from its own
+  /// derive_stream(seed, node_id) PRNG stream.
+  int threads = 1;
+  /// See AsmParams::net_trace_events.
+  std::size_t net_trace_events = 0;
 };
 
 /// The Corollary-1 iteration budget RandASM gives each maximal-matching

@@ -22,6 +22,8 @@ struct InnerSnapshot {
   /// Men whose active set A is still nonempty while unmatched — Lemma 2
   /// guarantees this is 0 after every completed QuantileMatch.
   std::int64_t men_with_live_targets = 0;
+
+  friend bool operator==(const InnerSnapshot&, const InnerSnapshot&) = default;
 };
 
 struct AsmResult {
@@ -53,6 +55,11 @@ struct AsmResult {
   std::int64_t bad_count = 0;
 
   std::vector<InnerSnapshot> trace;
+
+  /// The network's transmission ring (oldest first), captured when
+  /// AsmParams::net_trace_events > 0 — the witness the parallel/serial
+  /// bit-identity tests compare.
+  std::vector<TraceEvent> net_trace;
 
   /// bad_men = !good_men, as a man filter for blocking-pair audits.
   std::vector<bool> bad_men() const;

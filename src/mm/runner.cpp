@@ -3,6 +3,7 @@
 #include "mm/israeli_itai.hpp"
 #include "mm/pointer_greedy.hpp"
 #include "mm/random_priority.hpp"
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace dasm::mm {
@@ -51,6 +52,15 @@ RunResult run_maximal_matching(const Graph& g,
   }
 
   Network net(g.adjacency());
+  DASM_CHECK_MSG(config.threads >= 0, "RunConfig::threads must be >= 0");
+  const int threads =
+      config.threads == 0 ? par::hardware_threads() : config.threads;
+  std::unique_ptr<par::ThreadPool> pool;
+  if (threads > 1 && n > 1) {
+    pool = std::make_unique<par::ThreadPool>(threads);
+    net.set_send_lanes(threads);
+  }
+  if (config.trace_events > 0) net.enable_trace(config.trace_events);
   std::vector<std::unique_ptr<Node>> nodes;
   nodes.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
@@ -79,8 +89,18 @@ RunResult run_maximal_matching(const Graph& g,
     if (config.max_iterations == 0 && all_quiescent()) break;
     for (int r = 0; r < rounds_per_iter; ++r) {
       net.begin_round();
-      for (NodeId v = 0; v < n; ++v) {
-        nodes[static_cast<std::size_t>(v)]->on_round(net.inbox(v), net);
+      if (pool) {
+        // Node steps within a round are independent (each reads only its
+        // delivered inbox, writes only its own edges); the send lanes
+        // restore the sequential node-id-major commit order.
+        pool->parallel_for(0, n, [&](std::int64_t v) {
+          nodes[static_cast<std::size_t>(v)]->on_round(
+              net.inbox(static_cast<NodeId>(v)), net);
+        });
+      } else {
+        for (NodeId v = 0; v < n; ++v) {
+          nodes[static_cast<std::size_t>(v)]->on_round(net.inbox(v), net);
+        }
       }
       net.end_round();
     }
@@ -91,6 +111,7 @@ RunResult run_maximal_matching(const Graph& g,
   }
   result.iterations_executed = iter;
   result.net = net.stats();
+  if (config.trace_events > 0) result.trace = net.trace();
   Matching m(n);
   for (NodeId v = 0; v < n; ++v) {
     const NodeId p = nodes[static_cast<std::size_t>(v)]->partner();

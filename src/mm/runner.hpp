@@ -23,6 +23,16 @@ struct RunConfig {
   /// maximal). Disable to always consume the full iteration budget, as a
   /// fixed-schedule CONGEST execution would.
   bool stop_on_quiescence = true;
+  /// Worker threads stepping nodes inside each round (Layer 1 of the
+  /// parallel engine; DESIGN.md §6). 1 = serial, 0 = hardware
+  /// concurrency. Bit-identical results at every value — send lanes merge
+  /// in node-id-major order and randomized nodes use per-node PRNG
+  /// streams.
+  int threads = 1;
+  /// Record the last `trace_events` transmissions into RunResult::trace
+  /// (0 disables) — the witness the parallel/serial equivalence tests
+  /// compare.
+  std::size_t trace_events = 0;
 };
 
 struct RunResult {
@@ -33,6 +43,8 @@ struct RunResult {
   /// Number of non-quiescent vertices after each iteration — the decay
   /// series of Lemma 8.
   std::vector<std::int64_t> live_after_iteration;
+  /// Transmission ring (oldest first) when RunConfig::trace_events > 0.
+  std::vector<TraceEvent> trace;
 };
 
 /// Runs the configured protocol on g. `is_left` gives the bipartite

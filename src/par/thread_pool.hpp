@@ -1,0 +1,128 @@
+// Deterministic fixed-size thread pool (Layer 1 of the parallel engine;
+// see DESIGN.md §6).
+//
+// parallel_for() splits [begin, end) into exactly size() contiguous chunks
+// (static chunking, no work stealing): worker w always receives the w-th
+// chunk, and the calling thread executes chunk 0 itself. Because the
+// assignment of indices to workers is a pure function of (begin, end,
+// size()), any per-worker side effects that are later merged in worker
+// order — e.g. the Network's send lanes — reproduce the sequential
+// iteration order exactly, which is what makes intra-round parallelism
+// bit-identical to serial execution at every thread count.
+//
+// The pool is reusable (workers park on a condition variable between
+// jobs), propagates the first exception by worker index (deterministic),
+// and degrades gracefully under nesting: a parallel_for issued from inside
+// a pool job runs inline on the calling thread as worker 0, so protocols
+// launched from sweep workers stay correct (just serial).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dasm::par {
+
+/// std::thread::hardware_concurrency(), clamped to at least 1.
+int hardware_threads();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` worker threads; the caller thread acts as
+  /// worker 0 in every job. `threads` must be >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return thread_count_; }
+
+  /// Index of the pool worker executing the current job on this thread
+  /// (0 for the calling thread and for threads outside any pool job).
+  /// Stable for the duration of a job — the Network uses it to pick the
+  /// send lane.
+  static int current_worker();
+
+  /// True while this thread is executing a pool job (used to run nested
+  /// parallelism inline instead of deadlocking on a busy pool).
+  static bool inside_job();
+
+  /// Invokes f(i) for every i in [begin, end), statically chunked:
+  /// worker w runs the contiguous index range
+  ///   [begin + n*w/T, begin + n*(w+1)/T)   with n = end - begin, T = size().
+  /// Blocks until every chunk finishes; rethrows the first exception in
+  /// worker-index order.
+  template <typename F>
+  void parallel_for(std::int64_t begin, std::int64_t end, F&& f) {
+    const std::int64_t count = end - begin;
+    if (count <= 0) return;
+    if (thread_count_ == 1 || count == 1 || inside_job()) {
+      const ScopedWorker scope(0);
+      for (std::int64_t i = begin; i < end; ++i) f(i);
+      return;
+    }
+    const int chunks = thread_count_;
+    auto body = [&f, begin, count, chunks](int worker) {
+      const std::int64_t lo = begin + count * worker / chunks;
+      const std::int64_t hi = begin + count * (worker + 1) / chunks;
+      for (std::int64_t i = lo; i < hi; ++i) f(i);
+    };
+    run_job_erased(&invoke<decltype(body)>, &body);
+  }
+
+  /// Invokes f(worker) once on every worker (including the caller as
+  /// worker 0). The building block for dynamically scheduled sweeps,
+  /// where each worker pulls cell indices from a shared atomic ticket.
+  template <typename F>
+  void run_workers(F&& f) {
+    if (thread_count_ == 1 || inside_job()) {
+      const ScopedWorker scope(0);
+      f(0);
+      return;
+    }
+    run_job_erased(&invoke<std::decay_t<F>>, &f);
+  }
+
+ private:
+  // Sets the thread-local worker index (and the inside-job flag) for the
+  // caller's own chunk, restoring both on scope exit so nested pools and
+  // back-to-back jobs observe consistent state.
+  struct ScopedWorker {
+    explicit ScopedWorker(int index);
+    ~ScopedWorker();
+    int saved_index;
+    bool saved_inside;
+  };
+
+  template <typename F>
+  static void invoke(void* ctx, int worker) {
+    (*static_cast<F*>(ctx))(worker);
+  }
+
+  // Broadcasts (fn, ctx) to every worker and runs worker 0's share on the
+  // calling thread. Type-erased through a function pointer so steady-state
+  // rounds never touch the allocator.
+  void run_job_erased(void (*fn)(void*, int), void* ctx);
+  void worker_main(int index);
+
+  int thread_count_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  void (*job_fn_)(void*, int) = nullptr;
+  void* job_ctx_ = nullptr;
+  std::int64_t job_serial_ = 0;
+  int pending_ = 0;
+  bool job_active_ = false;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dasm::par

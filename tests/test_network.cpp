@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
 
@@ -322,6 +324,166 @@ TEST(NetworkTest, RejectsSelfLoopAndDuplicates) {
   EXPECT_THROW((void)Network(self_loop), CheckError);
   const std::vector<std::vector<NodeId>> duplicate{{1, 1}, {0}};
   EXPECT_THROW((void)Network(duplicate), CheckError);
+}
+
+TEST(NetStatsTest, PlusEqualsMergesCounters) {
+  NetStats a;
+  a.executed_rounds = 3;
+  a.scheduled_rounds = 5;
+  a.messages = 10;
+  a.bits = 200;
+  a.max_message_bits = 16;
+  a.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] = 7;
+  a.messages_by_type[static_cast<std::size_t>(MsgType::kReject)] = 3;
+
+  NetStats b;
+  b.executed_rounds = 2;
+  b.scheduled_rounds = 4;
+  b.messages = 6;
+  b.bits = 90;
+  b.max_message_bits = 24;
+  b.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] = 1;
+  b.messages_by_type[static_cast<std::size_t>(MsgType::kAccept)] = 5;
+
+  NetStats& ref = (a += b);
+  EXPECT_EQ(&ref, &a);  // returns *this for chaining
+  EXPECT_EQ(a.executed_rounds, 5);
+  EXPECT_EQ(a.scheduled_rounds, 9);
+  EXPECT_EQ(a.messages, 16);
+  EXPECT_EQ(a.bits, 290);
+  EXPECT_EQ(a.max_message_bits, 24);  // max, not sum
+  EXPECT_EQ(a.count_of(MsgType::kPropose), 8);
+  EXPECT_EQ(a.count_of(MsgType::kReject), 3);
+  EXPECT_EQ(a.count_of(MsgType::kAccept), 5);
+}
+
+TEST(NetStatsTest, PlusEqualsIdentityAndEquality) {
+  NetStats a;
+  a.messages = 4;
+  a.bits = 33;
+  a.max_message_bits = 12;
+  const NetStats before = a;
+  a += NetStats{};  // default stats are the additive identity
+  EXPECT_EQ(a, before);
+  NetStats c = before;
+  EXPECT_EQ(c, before);
+  c.messages_by_type[2] += 1;  // per-type array participates in ==
+  EXPECT_FALSE(c == before);
+}
+
+#ifndef NDEBUG
+TEST(NetStatsTest, CountOfOutOfRangeTypeFailsLoudlyInDebug) {
+  // DASM_DCHECK compiles out under NDEBUG, so the bounds assertion is only
+  // observable in debug builds.
+  const NetStats s;
+  EXPECT_THROW((void)s.count_of(static_cast<MsgType>(99)), CheckError);
+}
+#endif
+
+TEST(NetworkTest, LaneStagedSendsMatchSequentialDelivery) {
+  // Drives the same two-round script through a serial network and through
+  // a laned network whose sends are issued from pool workers; inboxes,
+  // stats, trace, and the silent flag must be bit-identical.
+  const int threads = 4;
+  Network serial(triangle());
+  Network laned(triangle());
+  serial.enable_trace(16);
+  laned.enable_trace(16);
+  laned.set_send_lanes(threads);
+  EXPECT_EQ(laned.send_lanes(), threads);
+  par::ThreadPool pool(threads);
+
+  auto script = [](Network& net, NodeId v, Round round) {
+    if (round == 0) {
+      // Every node messages both neighbours in the triangle.
+      for (const NodeId to : net.neighbors(v)) {
+        net.send(v, to, Message{MsgType::kPropose, v, to});
+      }
+    } else if (v == 1) {
+      net.send(1, 0, Message{MsgType::kAccept});
+    }
+  };
+
+  for (Round round = 0; round < 2; ++round) {
+    serial.begin_round();
+    for (NodeId v = 0; v < 3; ++v) script(serial, v, round);
+    serial.end_round();
+
+    laned.begin_round();
+    pool.parallel_for(0, 3, [&](std::int64_t v) {
+      script(laned, static_cast<NodeId>(v), round);
+    });
+    laned.end_round();
+
+    for (NodeId v = 0; v < 3; ++v) {
+      const InboxView want = serial.inbox(v);
+      const InboxView got = laned.inbox(v);
+      ASSERT_EQ(got.size(), want.size()) << "round " << round << " node " << v;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "round " << round << " node " << v;
+      }
+    }
+    EXPECT_EQ(laned.last_round_was_silent(), serial.last_round_was_silent());
+  }
+  EXPECT_EQ(laned.stats(), serial.stats());
+  EXPECT_EQ(laned.trace(), serial.trace());
+}
+
+TEST(NetworkTest, FlushLanesPreservesSubPhaseOrder) {
+  // Two sub-loops inside one round (all of side A, then all of side B):
+  // flushing between them must keep every A-send ahead of every B-send in
+  // the inbox, exactly as the serial engine interleaves them.
+  Network net(triangle());
+  net.set_send_lanes(2);
+  par::ThreadPool pool(2);
+  net.begin_round();
+  pool.parallel_for(0, 2, [&](std::int64_t v) {
+    net.send(static_cast<NodeId>(v), 2, Message{MsgType::kPropose, v});
+  });
+  net.flush_lanes();
+  pool.parallel_for(0, 1, [&](std::int64_t) {
+    net.send(2, 0, Message{MsgType::kAccept});
+    net.send(2, 1, Message{MsgType::kAccept});
+  });
+  net.end_round();
+  ASSERT_EQ(net.inbox(2).size(), 2u);
+  EXPECT_EQ(net.inbox(2)[0].from, 0);  // node-id-major within the sub-phase
+  EXPECT_EQ(net.inbox(2)[1].from, 1);
+  ASSERT_EQ(net.inbox(0).size(), 1u);
+  EXPECT_EQ(net.inbox(0)[0].msg.type, MsgType::kAccept);
+}
+
+TEST(NetworkTest, LanedSendsStillEnforceModelChecks) {
+  // The CONGEST model checks fire at send() time even when the commit is
+  // deferred to a lane: double-send on a directed edge and non-edge sends
+  // must throw from inside the pool job (and propagate out of it).
+  Network net({{1}, {0}, {}});  // node 2 isolated
+  net.set_send_lanes(2);
+  par::ThreadPool pool(2);
+  net.begin_round();
+  EXPECT_THROW(pool.parallel_for(0, 2, [&](std::int64_t) {
+    net.send(0, 2, Message{MsgType::kPropose});
+  }),
+               CheckError);
+  net.send(0, 1, Message{MsgType::kPropose});
+  EXPECT_THROW(net.send(0, 1, Message{MsgType::kAccept}), CheckError);
+  net.end_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.stats().messages, 1);
+}
+
+TEST(NetworkTest, SetSendLanesOnlyBetweenRounds) {
+  Network net(triangle());
+  EXPECT_THROW(net.set_send_lanes(0), CheckError);
+  net.begin_round();
+  EXPECT_THROW(net.set_send_lanes(2), CheckError);
+  net.end_round();
+  net.set_send_lanes(2);
+  net.set_send_lanes(1);  // back to direct sends
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.end_round();
+  EXPECT_EQ(net.inbox(1).size(), 1u);
 }
 
 TEST(NetworkTest, HasEdgeQueries) {

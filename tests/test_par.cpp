@@ -1,0 +1,151 @@
+#include "par/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "par/sweep.hpp"
+#include "util/check.hpp"
+
+namespace dasm::par {
+namespace {
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1); }
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), CheckError);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    constexpr std::int64_t kCount = 1000;
+    std::vector<int> visits(kCount, 0);
+    pool.parallel_for(0, kCount, [&](std::int64_t i) {
+      ++visits[static_cast<std::size_t>(i)];  // distinct slot per index
+    });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), kCount);
+    EXPECT_TRUE(std::all_of(visits.begin(), visits.end(),
+                            [](int v) { return v == 1; }));
+  }
+}
+
+TEST(ThreadPool, StaticChunksAreContiguousInWorkerOrder) {
+  // Worker w must own exactly [begin + n*w/T, begin + n*(w+1)/T): the
+  // property the Network's lane-order merge relies on for bit-identity.
+  constexpr std::int64_t kBegin = 3;
+  constexpr std::int64_t kEnd = 45;
+  for (const int threads : {2, 3, 5}) {
+    ThreadPool pool(threads);
+    std::vector<int> owner(kEnd - kBegin, -1);
+    pool.parallel_for(kBegin, kEnd, [&](std::int64_t i) {
+      owner[static_cast<std::size_t>(i - kBegin)] = ThreadPool::current_worker();
+    });
+    const std::int64_t n = kEnd - kBegin;
+    for (int w = 0; w < threads; ++w) {
+      const std::int64_t lo = n * w / threads;
+      const std::int64_t hi = n * (w + 1) / threads;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        EXPECT_EQ(owner[static_cast<std::size_t>(i)], w) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, CallerThreadActsAsWorkerZero) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> worker_zero_is_caller{false};
+  pool.parallel_for(0, 100, [&](std::int64_t) {
+    if (ThreadPool::current_worker() == 0) {
+      worker_zero_is_caller = std::this_thread::get_id() == caller;
+    }
+  });
+  EXPECT_TRUE(worker_zero_is_caller);
+  // Outside a job the caller reads index 0 again.
+  EXPECT_EQ(ThreadPool::current_worker(), 0);
+  EXPECT_FALSE(ThreadPool::inside_job());
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::int64_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromWorkers) {
+  ThreadPool pool(4);
+  auto boom = [&](std::int64_t i) {
+    DASM_CHECK_MSG(i != 97, "worker failure at " << i);
+  };
+  EXPECT_THROW(pool.parallel_for(0, 256, boom), CheckError);
+  // The pool survives a failed job and runs the next one.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(0, 10, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineAsWorkerZero) {
+  ThreadPool outer(3);
+  ThreadPool inner(3);
+  std::atomic<std::int64_t> total{0};
+  std::atomic<bool> inner_worker_ok{true};
+  outer.parallel_for(0, 6, [&](std::int64_t) {
+    inner.parallel_for(0, 4, [&](std::int64_t i) {
+      if (ThreadPool::current_worker() != 0) inner_worker_ok = false;
+      total += i;
+    });
+  });
+  EXPECT_TRUE(inner_worker_ok);  // nested loops degrade to serial inline
+  EXPECT_EQ(total.load(), 6 * (0 + 1 + 2 + 3));
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::int64_t grand = 0;
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(0, 100, [&](std::int64_t i) { sum += i; });
+    grand += sum.load();
+  }
+  EXPECT_EQ(grand, 50 * 4950);
+}
+
+TEST(SweepRunner, MapReturnsResultsInIndexOrder) {
+  for (const int threads : {1, 2, 4, 9}) {
+    SweepRunner sweep(threads);
+    const auto out =
+        sweep.map<std::int64_t>(257, [](std::int64_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::int64_t i = 0; i < 257; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+    }
+  }
+}
+
+TEST(SweepRunner, HandlesMoreThreadsThanCells) {
+  SweepRunner sweep(8);
+  const auto out = sweep.map<int>(3, [](std::int64_t i) {
+    return static_cast<int>(i) + 1;
+  });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(sweep.map<int>(0, [](std::int64_t) { return 1; }).empty());
+}
+
+TEST(SweepRunner, DefaultsToHardwareConcurrency) {
+  SweepRunner sweep(0);
+  EXPECT_EQ(sweep.threads(), hardware_threads());
+}
+
+}  // namespace
+}  // namespace dasm::par

@@ -329,7 +329,7 @@ int main(int argc, char** argv) {
   std::vector<AgreeCell> agree_cells;
   agree_cells.push_back({complete_bipartite(24), 1});
   agree_cells.push_back({circulant(512, 6), 2});
-  par::SweepRunner sweep(bench::thread_count(argc, argv));
+  par::SweepRunner sweep(bench::parse_options(argc, argv).threads);
   // int cells, not bool: vector<bool> packs slots into shared words, which
   // concurrent cell writes would race on.
   const auto agreement = sweep.map<int>(

@@ -26,6 +26,7 @@
 #include "bench_common.hpp"
 #include "congest/network.hpp"
 #include "core/engine.hpp"
+#include "mm/runner.hpp"
 #include "par/sweep.hpp"
 #include "par/thread_pool.hpp"
 #include "util/table.hpp"
@@ -166,10 +167,12 @@ Layer2Run drive_sweep(int threads, int seeds) {
 }  // namespace
 }  // namespace dasm
 
-// No --threads flag here: the whole point is sweeping the fixed thread
-// ladder 1/2/4/8, so extra argv from run_experiments.sh is ignored.
-int main() {
+// --threads is deliberately not honoured here: the whole point is sweeping
+// the fixed thread ladder 1/2/4/8. --trace-out still works (it records a
+// standalone MM-runner execution, the protocol this bench scales).
+int main(int argc, char** argv) {
   using namespace dasm;
+  const bench::Options opts = bench::parse_options(argc, argv);
   bench::print_header(
       "A7",
       "Engine plumbing, not the paper: deterministic multi-threaded round "
@@ -259,6 +262,30 @@ int main() {
                  "(this host has "
               << hw << "); determinism was still verified at every thread "
                        "count\n";
+  }
+  if (!opts.trace_out.empty()) {
+    // An MM-runner trace (kRun > kMmIteration spans + live-node decay) at
+    // hardware concurrency — byte-identical to the serial trace by the
+    // lane-merge contract this bench verifies.
+    obs::MemorySink sink;
+    mm::RunConfig config;
+    config.backend = mm::Backend::kIsraeliItai;
+    config.threads = 0;
+    config.obs_sink = &sink;
+    const NodeId gn = large ? 4096 : 1024;
+    const auto adj = circulant(gn, 8);
+    std::vector<Edge> edges;
+    for (NodeId u = 0; u < gn; ++u) {
+      for (const NodeId v : adj[static_cast<std::size_t>(u)]) {
+        if (u < v) edges.push_back({u, v});
+      }
+    }
+    const Graph g(gn, edges);
+    mm::run_maximal_matching(g, {}, config);
+    obs::write_trace_file(sink, opts.trace_out);
+    std::cout << "[trace] wrote " << opts.trace_out << " ("
+              << sink.events.size() << " events, " << sink.rounds.size()
+              << " round samples)\n";
   }
   return ok ? 0 : 1;
 }

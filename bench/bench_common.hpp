@@ -10,7 +10,9 @@
 #include <iostream>
 #include <string>
 
+#include "core/engine.hpp"
 #include "gen/generators.hpp"
+#include "obs/export.hpp"
 #include "par/thread_pool.hpp"
 #include "stable/instance.hpp"
 #include "util/check.hpp"
@@ -24,14 +26,47 @@ inline bool large_mode() {
   return v != nullptr && std::string(v) != "0";
 }
 
-/// Sweep worker threads from the --threads flag (Layer 2 of the parallel
-/// engine; DESIGN.md §6). Absent or <= 0 selects hardware concurrency;
-/// --threads 1 reproduces the old serial sweep byte for byte (the sweeps
-/// aggregate in cell-index order, so every value prints the same tables).
-inline int thread_count(int argc, const char* const* argv) {
+/// The flags every experiment binary shares, parsed once per main:
+///
+///   --threads N    sweep/step worker threads (Layer 2 / Layer 1 of the
+///                  parallel engine; DESIGN.md §6). Absent or <= 0 selects
+///                  hardware concurrency; --threads 1 reproduces the old
+///                  serial runs byte for byte (sweeps aggregate in
+///                  cell-index order, so every value prints the same
+///                  tables).
+///   --trace-out P  write an observability trace (src/obs/) of one
+///                  representative run to P: ".json" selects Chrome
+///                  trace-event JSON, anything else the JSONL form
+///                  dasm-trace inspects. Empty = tracing off.
+struct Options {
+  int threads = 1;
+  std::string trace_out;
+};
+
+inline Options parse_options(int argc, const char* const* argv) {
   const Cli cli(argc, argv);
+  Options opt;
   const auto threads = cli.get_int("threads", 0);
-  return threads > 0 ? static_cast<int>(threads) : par::hardware_threads();
+  opt.threads =
+      threads > 0 ? static_cast<int>(threads) : par::hardware_threads();
+  opt.trace_out = cli.get("trace-out", "");
+  return opt;
+}
+
+/// Re-runs one representative ASM cell with the observability recorder
+/// attached (blocking-pair sampling on — an O(|E|) scan per inner
+/// iteration, acceptable for a single traced cell) and writes the trace
+/// to `path`. Benches call this after their sweep so the traced run never
+/// perturbs the measured one.
+inline void export_asm_trace(const std::string& path, const Instance& inst,
+                             core::AsmParams params) {
+  obs::MemorySink sink;
+  params.obs_sink = &sink;
+  params.obs_blocking_pairs = true;
+  core::run_asm(inst, params);
+  obs::write_trace_file(sink, path);
+  std::cout << "[trace] wrote " << path << " (" << sink.events.size()
+            << " events, " << sink.rounds.size() << " round samples)\n";
 }
 
 inline void print_header(const std::string& id, const std::string& claim,

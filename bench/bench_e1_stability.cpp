@@ -7,8 +7,9 @@
 #include "stable/blocking.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dasm;
+  const bench::Options opts = bench::parse_options(argc, argv);
   bench::print_header(
       "E1", "Theorem 3: ASM induces at most eps*|E| blocking pairs",
       "measured blocking fraction <= eps on every family and every eps");
@@ -50,6 +51,12 @@ int main() {
   }
   table.print(std::cout);
   std::cout << '\n';
+  if (!opts.trace_out.empty()) {
+    core::AsmParams params;
+    params.epsilon = 0.25;
+    bench::export_asm_trace(opts.trace_out,
+                            bench::make_family("complete", n, 1), params);
+  }
   bench::print_verdict(all_ok,
                        "every (family, eps) cell satisfies Theorem 3");
   return all_ok ? 0 : 1;

@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  par::SweepRunner sweep(bench::thread_count(argc, argv));
+  const bench::Options opts = bench::parse_options(argc, argv);
+  par::SweepRunner sweep(opts.threads);
   const auto results =
       sweep.map<CellResult>(static_cast<std::int64_t>(cells.size()),
                             [&](std::int64_t i) {
@@ -118,6 +119,16 @@ int main(int argc, char** argv) {
   const LinearFit fit = loglog_fit(xs, ys);
   std::cout << "\nexecuted-rounds growth: rounds ~ n^" << fit.slope
             << " (log-log fit, R^2=" << fit.r_squared << ")\n\n";
+
+  if (!opts.trace_out.empty()) {
+    // One representative cell of the grid above (complete, n=256, seed 1):
+    // its per-inner-iteration convergence table is the curve EXPERIMENTS.md
+    // §E2 shows via dasm-trace.
+    core::AsmParams params;
+    params.epsilon = 0.25;
+    bench::export_asm_trace(opts.trace_out,
+                            bench::make_family("complete", 256, 1), params);
+  }
   const bool shape_ok = fit.slope < 0.6 && quality_ok;
   bench::print_verdict(shape_ok,
                        "sub-polynomial executed-round growth (exponent < 0.6) "

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   std::vector<NodeId> sizes{64, 128, 256, 512};
   if (bench::large_mode()) sizes.push_back(1024);
 
-  par::SweepRunner sweep(bench::thread_count(argc, argv));
+  par::SweepRunner sweep(bench::parse_options(argc, argv).threads);
   const auto cell_count =
       static_cast<std::int64_t>(sizes.size()) * seeds;  // n-major, seed minor
   const auto results = sweep.map<CellResult>(cell_count, [&](std::int64_t i) {

@@ -7,8 +7,9 @@
 #include "core/engine.hpp"
 #include "stable/blocking.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dasm;
+  const bench::Options opts = bench::parse_options(argc, argv);
   bench::print_header(
       "E8",
       "Lemma 3 / Remark 2: good men are in no (2/k)-blocking pairs; "
@@ -45,6 +46,14 @@ int main() {
   }
   table.print(std::cout);
   std::cout << '\n';
+  if (!opts.trace_out.empty()) {
+    // The traced cell samples (2/k)-blocking pairs per inner iteration —
+    // the Lemma-3 series this experiment is about.
+    core::AsmParams params;
+    params.epsilon = 0.25;
+    bench::export_asm_trace(opts.trace_out,
+                            bench::make_family("complete", n, 1), params);
+  }
   bench::print_verdict(all_ok,
                        "every (2/k)-blocking pair is incident to a bad man "
                        "(Lemma 3), so removing them restores "

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   std::vector<NodeId> sizes{64, 128, 256, 512};
   if (bench::large_mode()) sizes.push_back(1024);
 
-  par::SweepRunner sweep(bench::thread_count(argc, argv));
+  par::SweepRunner sweep(bench::parse_options(argc, argv).threads);
 
   std::cout << "adversarial displacement chain:\n";
   const auto chain_cells = sweep.map<ChainResult>(

@@ -1,28 +1,55 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every experiment table in EXPERIMENTS.md.
 #
 #   ./run_experiments.sh [output-file] [--threads N]
 #   ./run_experiments.sh --check     # sanitizer gate (ASan+UBSan, then TSan)
+#                                    # + observability suite + trace smoke
 #
 # --threads N sets the sweep worker count of every bench binary (Layer 2
 # of the parallel engine); absent or 0 selects hardware concurrency, and
 # 1 reproduces the old serial sweeps byte for byte.
 #
 # DASM_BENCH_LARGE=1 enlarges the sweeps (slower, same shapes).
-set -e
+#
+# Every stage propagates its exit code: `set -e` aborts on the first
+# failing command and `set -o pipefail` keeps a failing bench from being
+# masked by the `tee` it pipes into.
+set -euo pipefail
+
+jobs="$(nproc 2>/dev/null || echo 4)"
 
 if [ "${1:-}" = "--check" ]; then
   # Sanitizer gate 1: the arena engine's pointer-flipping delivery path and
   # every protocol on top of it run under ASan+UBSan.
   cmake --preset asan
   cmake --build --preset asan
-  ctest --preset asan -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --preset asan -j "$jobs"
+  # The observability suite (recorder lanes, exporters, cross-thread-count
+  # determinism) by label, so a filter change in the preset cannot silently
+  # drop it.
+  ctest --test-dir build-asan -L obs --output-on-failure -j "$jobs"
   # Sanitizer gate 2: the parallel round engine (send lanes, thread pool,
-  # sweep runner) runs under TSan; the preset filters to the network and
-  # parallel-engine suites, which drive every multi-threaded code path.
+  # sweep runner) runs under TSan; the preset filters to the network,
+  # parallel-engine, and obs suites, which drive every multi-threaded
+  # code path.
   cmake --preset tsan
   cmake --build --preset tsan
-  ctest --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --preset tsan -j "$jobs"
+  ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
+  # Trace smoke: a bench emits a JSONL trace, dasm-trace must load it,
+  # print the rollups, and convert it to Chrome trace-event JSON that a
+  # real JSON parser accepts.
+  cmake -B build -G Ninja
+  cmake --build build --target bench_e8_eps_blocking dasm_trace
+  smoke="$(mktemp -d)"
+  trap 'rm -rf "$smoke"' EXIT
+  build/bench/bench_e8_eps_blocking --trace-out "$smoke/e8.jsonl" >/dev/null
+  build/tools/dasm-trace "$smoke/e8.jsonl" >/dev/null
+  build/tools/dasm-trace "$smoke/e8.jsonl" --chrome "$smoke/e8.json" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$smoke/e8.json" >/dev/null
+  fi
+  echo "trace smoke OK"
   exit 0
 fi
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <utility>
 
 #include "par/thread_pool.hpp"
 #include "util/check.hpp"
@@ -19,6 +20,20 @@ NetStats& NetStats::operator+=(const NetStats& other) {
     messages_by_type[i] += other.messages_by_type[i];
   }
   return *this;
+}
+
+void NetStats::reset() { *this = NetStats{}; }
+
+NetStats NetStats::delta_since(const NetStats& base) const {
+  NetStats d = *this;
+  d.executed_rounds -= base.executed_rounds;
+  d.scheduled_rounds -= base.scheduled_rounds;
+  d.messages -= base.messages;
+  d.bits -= base.bits;
+  for (std::size_t i = 0; i < d.messages_by_type.size(); ++i) {
+    d.messages_by_type[i] -= base.messages_by_type[i];
+  }
+  return d;
 }
 
 static_assert(static_cast<std::size_t>(MsgType::kBcast) <
@@ -225,6 +240,12 @@ void Network::end_round() {
   last_round_silent_ = arenas_[delivered_].dirty.empty();
   ++stats_.executed_rounds;
   ++stats_.scheduled_rounds;
+  if (round_hook_) round_hook_(stats_);
+}
+
+void Network::set_round_hook(std::function<void(const NetStats&)> hook) {
+  DASM_CHECK_MSG(!round_open_, "set_round_hook() while a round is open");
+  round_hook_ = std::move(hook);
 }
 
 InboxView Network::inbox(NodeId v) const {

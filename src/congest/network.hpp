@@ -28,6 +28,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -80,6 +81,17 @@ struct NetStats {
   /// aggregation step of a sweep over independent (instance, seed, params)
   /// cells. Counters add; max_message_bits takes the max.
   NetStats& operator+=(const NetStats& other);
+
+  /// Returns every field to its freshly-constructed value, so one struct
+  /// can be reused as a windowed accumulator: operator+= after reset()
+  /// matches a fresh struct exactly (asserted in test_network.cpp).
+  void reset();
+
+  /// The traffic between the `base` snapshot and this one: counters
+  /// subtract; max_message_bits carries over from this snapshot (a max
+  /// has no windowed inverse). `base` must be an earlier snapshot of the
+  /// same execution.
+  NetStats delta_since(const NetStats& base) const;
 
   friend bool operator==(const NetStats&, const NetStats&) = default;
 };
@@ -149,6 +161,14 @@ class Network {
 
   const NetStats& stats() const { return stats_; }
 
+  /// Observability hook (src/obs/): invoked at the end of every
+  /// end_round(), after staged lanes have been committed and the round's
+  /// statistics are final, with the cumulative stats. The callback runs
+  /// on the thread that called end_round() and must not send on or
+  /// mutate the network. Pass an empty function to clear the hook. Costs
+  /// one branch per round when unset.
+  void set_round_hook(std::function<void(const NetStats&)> hook);
+
   /// Starts recording every transmission into a fixed-capacity ring of
   /// `max_events` events (once full, each new event overwrites the oldest
   /// in O(1), and dropped_trace_events() reports how many were lost).
@@ -204,6 +224,7 @@ class Network {
   bool last_round_silent_ = true;
   int bit_budget_ = 0;
   NetStats stats_;
+  std::function<void(const NetStats&)> round_hook_;
   // Trace ring buffer: trace_ring_[trace_start_] is the oldest retained
   // event, trace_size_ events follow cyclically.
   std::vector<TraceEvent> trace_ring_;

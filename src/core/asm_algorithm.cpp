@@ -3,6 +3,7 @@
 #include "core/engine.hpp"
 
 #include "mm/runner.hpp"
+#include "stable/blocking.hpp"
 #include "util/check.hpp"
 
 namespace dasm::core {
@@ -12,7 +13,8 @@ AsmEngine::AsmEngine(const Instance& inst, const AsmParams& params)
       params_(params),
       sched_(resolve_schedule(params,
                               std::max(inst.n_men(), inst.n_women()))),
-      net_(inst.graph().graph().adjacency()) {
+      net_(inst.graph().graph().adjacency()),
+      rec_(params.obs_sink) {
   const auto& bg = inst.graph();
   auto make_mm = [&](NodeId node_id) {
     return params.mm_node_factory
@@ -45,6 +47,14 @@ AsmEngine::AsmEngine(const Instance& inst, const AsmParams& params)
     net_.set_send_lanes(threads);
   }
   if (params.net_trace_events > 0) net_.enable_trace(params.net_trace_events);
+  if (rec_.enabled()) {
+    // Obs events are staged in per-worker lanes and committed in worker
+    // order at every round boundary — the same deterministic-merge
+    // contract as the send lanes (DESIGN.md §7).
+    rec_.set_lanes(threads > 1 ? threads : 1);
+    net_.set_round_hook(
+        [this](const NetStats& stats) { rec_.on_round(stats); });
+  }
 }
 
 NodeId g0_degree_bound(const Instance& inst, NodeId k) {
@@ -92,7 +102,9 @@ void AsmEngine::record_snapshot(int outer_iteration) {
 }
 
 AsmResult AsmEngine::run() {
+  rec_.begin_span(obs::Phase::kRun, 0, net_.stats());
   for (int i = 0; i < sched_.outer; ++i) {
+    rec_.begin_span(obs::Phase::kOuter, i, net_.stats());
     const std::int64_t threshold =
         params_.gate_by_degree ? (std::int64_t{1} << std::min(i, 62)) : 1;
     for_each_man([&](NodeId m) {
@@ -100,9 +112,13 @@ AsmResult AsmEngine::run() {
     });
 
     for (std::int64_t j = 0; j < sched_.inner; ++j) {
+      const std::int64_t inner_index = inner_iteration_counter_;
+      rec_.begin_span(obs::Phase::kInner, inner_index, net_.stats());
       const bool moved = run_quantile_match();
       ++inner_iteration_counter_;
       if (params_.record_trace) record_snapshot(i);
+      emit_inner_counters();
+      rec_.end_span(obs::Phase::kInner, inner_index, net_.stats());
       if (round_budget_exhausted()) return build_result();
       if (params_.trim_quiescent_phases && !moved && globally_quiescent()) {
         // Charge the rest of the paper schedule and stop.
@@ -114,21 +130,40 @@ AsmResult AsmEngine::run() {
         return build_result();
       }
     }
+    rec_.end_span(obs::Phase::kOuter, i, net_.stats());
   }
   return build_result();
 }
 
-AsmResult AsmEngine::build_result() {
-  AsmResult result;
-  result.schedule = sched_;
-  result.net = net_.stats();
-  result.proposal_rounds_executed = proposal_rounds_executed_;
-  result.quantile_matches_executed = quantile_matches_executed_;
-  result.mm_rounds_executed = mm_rounds_executed_;
-  result.mm_iterations_peak = mm_iterations_peak_;
-  result.trace = std::move(trace_);
-  if (params_.net_trace_events > 0) result.net_trace = net_.trace();
+void AsmEngine::emit_inner_counters() {
+  if (!rec_.enabled()) return;
+  const std::int64_t round = net_.stats().executed_rounds;
+  std::int64_t active = 0;
+  std::int64_t bad_active = 0;
+  std::int64_t matched = 0;
+  std::int64_t live_targets = 0;
+  for (const auto& man : men_) {
+    if (man.partner() != kNoNode) ++matched;
+    if (man.would_propose()) ++live_targets;
+    if (!man.active() || man.dropped()) continue;
+    ++active;
+    if (!man.good()) ++bad_active;
+  }
+  rec_.counter(obs::Counter::kActiveMen, round, active);
+  rec_.counter(obs::Counter::kBadActiveMen, round, bad_active);
+  rec_.counter(obs::Counter::kMatchedPairs, round, matched);
+  rec_.counter(obs::Counter::kMenWithLiveTargets, round, live_targets);
+  if (params_.obs_blocking_pairs) {
+    const Matching m = current_matching();
+    rec_.counter(obs::Counter::kBlockingPairs, round,
+                 count_blocking_pairs(*inst_, m));
+    rec_.counter(obs::Counter::kEpsBlockingPairs, round,
+                 count_eps_blocking_pairs(
+                     *inst_, m, 2.0 / static_cast<double>(sched_.k)));
+  }
+}
 
+Matching AsmEngine::current_matching() const {
   const auto& bg = inst_->graph();
   Matching matching(bg.node_count());
   // The women's partner state is authoritative (Lemma 1: it only ever
@@ -142,7 +177,25 @@ AsmResult AsmEngine::build_result() {
         "man " << m << " and woman " << w << " disagree about their match");
     matching.add(bg.man_id(m), bg.woman_id(w));
   }
-  result.matching = std::move(matching);
+  return matching;
+}
+
+AsmResult AsmEngine::build_result() {
+  // Close any spans an early exit (round budget, quiescence trim) left
+  // open and commit the tail of the obs event stream.
+  rec_.finish(net_.stats());
+
+  AsmResult result;
+  result.schedule = sched_;
+  result.net = net_.stats();
+  result.proposal_rounds_executed = proposal_rounds_executed_;
+  result.quantile_matches_executed = quantile_matches_executed_;
+  result.mm_rounds_executed = mm_rounds_executed_;
+  result.mm_iterations_peak = mm_iterations_peak_;
+  result.trace = std::move(trace_);
+  if (params_.net_trace_events > 0) result.net_trace = net_.trace();
+
+  result.matching = current_matching();
 
   result.good_men.resize(static_cast<std::size_t>(inst_->n_men()));
   result.dropped_men.resize(static_cast<std::size_t>(inst_->n_men()));

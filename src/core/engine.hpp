@@ -14,6 +14,7 @@
 #include "core/player.hpp"
 #include "core/result.hpp"
 #include "core/schedule.hpp"
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 #include "stable/instance.hpp"
 
@@ -44,6 +45,17 @@ class AsmEngine {
   bool round_budget_exhausted() const;
 
   void record_snapshot(int outer_iteration);
+
+  /// Emits the per-inner-iteration obs counters (active/bad/matched/live
+  /// men, plus blocking-pair counts when AsmParams::obs_blocking_pairs);
+  /// no-op when no obs sink is attached.
+  void emit_inner_counters();
+
+  /// The current matching, read from the women's (authoritative) partner
+  /// state; checks man/woman agreement. Valid at ProposalRound
+  /// boundaries.
+  Matching current_matching() const;
+
   AsmResult build_result();
 
   // Steps every man (resp. woman) through f, across the thread pool when
@@ -86,6 +98,7 @@ class AsmEngine {
   int mm_iterations_peak_ = 0;
   std::int64_t inner_iteration_counter_ = 0;
   std::vector<InnerSnapshot> trace_;
+  obs::Recorder rec_;  // null-sink recorder unless AsmParams::obs_sink set
 };
 
 /// Convenience entry point: run ASM with `params` on `inst`.

@@ -11,6 +11,10 @@
 #include "congest/types.hpp"
 #include "mm/node.hpp"
 
+namespace dasm::obs {
+class TraceSink;
+}
+
 namespace dasm::core {
 
 struct AsmParams {
@@ -95,6 +99,22 @@ struct AsmParams {
   /// fixed-capacity ring; see Network::enable_trace) into
   /// AsmResult::net_trace. 0 disables recording.
   std::size_t net_trace_events = 0;
+
+  /// Observability sink (src/obs/): when set, the engine records
+  /// phase-scoped spans (outer/inner iteration, ProposalRound, MM
+  /// subcall), per-inner-iteration counters, and per-round NetStats
+  /// samples into it. Non-owning; the sink must outlive the run. Null
+  /// disables recording entirely (every hook is then a null check).
+  /// Exported traces are bit-identical at every `threads` value — see
+  /// DESIGN.md §7.
+  obs::TraceSink* obs_sink = nullptr;
+
+  /// With obs_sink set, additionally sample the classic and (2/k)
+  /// eps-blocking-pair counts of the current matching at every
+  /// inner-iteration boundary. Each sample is a streaming O(|E|) scan
+  /// (stable/blocking.hpp), so this is a measurable cost on large
+  /// instances — the convergence-curve benches opt in.
+  bool obs_blocking_pairs = false;
 };
 
 }  // namespace dasm::core

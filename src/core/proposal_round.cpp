@@ -26,9 +26,14 @@ int AsmEngine::run_mm_phase() {
     return true;
   };
 
+  // The span index ties the subcall to its ProposalRound (already
+  // counted by the time Step 3 runs).
+  rec_.begin_span(obs::Phase::kMmPhase, proposal_rounds_executed_,
+                  net_.stats());
   int iterations = 0;
   for (; iterations < cap; ++iterations) {
     if (iterations > 0 && all_quiescent()) break;
+    rec_.begin_span(obs::Phase::kMmIteration, iterations, net_.stats());
     for (int r = 0; r < rpi; ++r) {
       const bool first = iterations == 0 && r == 0;
       net_.begin_round();
@@ -49,7 +54,10 @@ int AsmEngine::run_mm_phase() {
       net_.end_round();
       ++mm_rounds_executed_;
     }
+    rec_.end_span(obs::Phase::kMmIteration, iterations, net_.stats());
   }
+  rec_.end_span(obs::Phase::kMmPhase, proposal_rounds_executed_,
+                net_.stats());
   DASM_CHECK_MSG(sched_.mm_budget_iterations > 0 || all_quiescent(),
                  "maximal matching failed to converge within the safety cap");
   // Charge the unused part of a fixed budget to the paper schedule: a

@@ -30,7 +30,9 @@ bool AsmEngine::run_quantile_match() {
         break;
       }
     }
+    rec_.begin_span(obs::Phase::kProposalRound, pr, net_.stats());
     any_message |= run_proposal_round();
+    rec_.end_span(obs::Phase::kProposalRound, pr, net_.stats());
     if (round_budget_exhausted()) break;
   }
   ++quantile_matches_executed_;

@@ -18,6 +18,8 @@ AsmParams to_asm_params(const RandAsmParams& params) {
   p.trim_quiescent_phases = params.trim_quiescent_phases;
   p.threads = params.threads;
   p.net_trace_events = params.net_trace_events;
+  p.obs_sink = params.obs_sink;
+  p.obs_blocking_pairs = params.obs_blocking_pairs;
   return p;
 }
 

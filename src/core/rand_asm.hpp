@@ -29,6 +29,10 @@ struct RandAsmParams {
   int threads = 1;
   /// See AsmParams::net_trace_events.
   std::size_t net_trace_events = 0;
+  /// See AsmParams::obs_sink / obs_blocking_pairs: the observability
+  /// recorder (src/obs/), passed through to the underlying ASM engine.
+  obs::TraceSink* obs_sink = nullptr;
+  bool obs_blocking_pairs = false;
 };
 
 /// The Corollary-1 iteration budget RandASM gives each maximal-matching

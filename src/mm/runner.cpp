@@ -3,6 +3,7 @@
 #include "mm/israeli_itai.hpp"
 #include "mm/pointer_greedy.hpp"
 #include "mm/random_priority.hpp"
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
@@ -61,6 +62,10 @@ RunResult run_maximal_matching(const Graph& g,
     net.set_send_lanes(threads);
   }
   if (config.trace_events > 0) net.enable_trace(config.trace_events);
+  obs::Recorder rec(config.obs_sink, pool ? threads : 1);
+  if (rec.enabled()) {
+    net.set_round_hook([&rec](const NetStats& stats) { rec.on_round(stats); });
+  }
   std::vector<std::unique_ptr<Node>> nodes;
   nodes.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
@@ -83,10 +88,17 @@ RunResult run_maximal_matching(const Graph& g,
   };
 
   int iter = 0;
+  rec.begin_span(obs::Phase::kRun, 0, net.stats());
+  // One NetStats reused as a windowed accumulator across iterations: reset
+  // at each iteration start, then merged with the iteration's delta — the
+  // reset()/operator+= round-trip test_network.cpp asserts on.
+  NetStats window;
   while (true) {
     if (config.stop_on_quiescence && all_quiescent()) break;
     if (config.max_iterations > 0 && iter >= config.max_iterations) break;
     if (config.max_iterations == 0 && all_quiescent()) break;
+    rec.begin_span(obs::Phase::kMmIteration, iter, net.stats());
+    const NetStats at_iteration_start = net.stats();
     for (int r = 0; r < rounds_per_iter; ++r) {
       net.begin_round();
       if (pool) {
@@ -104,11 +116,18 @@ RunResult run_maximal_matching(const Graph& g,
       }
       net.end_round();
     }
-    ++iter;
     std::int64_t live = 0;
     for (const auto& node : nodes) live += node->quiescent() ? 0 : 1;
     result.live_after_iteration.push_back(live);
+    window.reset();
+    window += net.stats().delta_since(at_iteration_start);
+    result.per_iteration_net.push_back(window);
+    rec.counter(obs::Counter::kMmLiveNodes, net.stats().executed_rounds, live);
+    rec.end_span(obs::Phase::kMmIteration, iter, net.stats());
+    ++iter;
   }
+  rec.end_span(obs::Phase::kRun, 0, net.stats());
+  rec.finish(net.stats());
   result.iterations_executed = iter;
   result.net = net.stats();
   if (config.trace_events > 0) result.trace = net.trace();

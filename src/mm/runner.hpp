@@ -11,6 +11,10 @@
 #include "graph/matching.hpp"
 #include "mm/node.hpp"
 
+namespace dasm::obs {
+class TraceSink;
+}  // namespace dasm::obs
+
 namespace dasm::mm {
 
 struct RunConfig {
@@ -33,6 +37,11 @@ struct RunConfig {
   /// (0 disables) — the witness the parallel/serial equivalence tests
   /// compare.
   std::size_t trace_events = 0;
+  /// Observability sink (src/obs/): when set, the runner records a kRun
+  /// span, one kMmIteration span + kMmLiveNodes counter per protocol
+  /// iteration, and per-round traffic samples. nullptr disables all
+  /// recording.
+  obs::TraceSink* obs_sink = nullptr;
 };
 
 struct RunResult {
@@ -43,6 +52,11 @@ struct RunResult {
   /// Number of non-quiescent vertices after each iteration — the decay
   /// series of Lemma 8.
   std::vector<std::int64_t> live_after_iteration;
+  /// Traffic attributable to each iteration (same indexing as
+  /// live_after_iteration): NetStats windows accumulated via reset() +
+  /// delta_since, so sum(per_iteration_net) reproduces `net` exactly
+  /// (modulo max_message_bits, which windows carry rather than add).
+  std::vector<NetStats> per_iteration_net;
   /// Transmission ring (oldest first) when RunConfig::trace_events > 0.
   std::vector<TraceEvent> trace;
 };

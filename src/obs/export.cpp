@@ -1,0 +1,392 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "util/check.hpp"
+
+namespace dasm::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writers. Everything is an integer or a fixed identifier, so no escaping
+// or float formatting is needed and the output bytes are deterministic.
+
+void write_event_line(std::ostream& os, const Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::kBegin:
+    case Event::Kind::kEnd:
+      os << "{\"t\":\"" << (ev.kind == Event::Kind::kBegin ? 'b' : 'e')
+         << "\",\"ph\":\"" << to_string(ev.phase) << "\",\"i\":" << ev.index
+         << ",\"r\":" << ev.round << ",\"m\":" << ev.value << "}\n";
+      break;
+    case Event::Kind::kCounter:
+      os << "{\"t\":\"c\",\"k\":\"" << to_string(ev.counter)
+         << "\",\"r\":" << ev.round << ",\"v\":" << ev.value << "}\n";
+      break;
+  }
+}
+
+void write_round_line(std::ostream& os, const RoundSample& s) {
+  os << "{\"t\":\"r\",\"r\":" << s.round << ",\"m\":" << s.messages
+     << ",\"bits\":" << s.bits;
+  bool first = true;
+  for (std::size_t i = 0; i < s.messages_by_type.size(); ++i) {
+    if (s.messages_by_type[i] == 0) continue;
+    os << (first ? ",\"by\":{" : ",") << '"'
+       << to_string(static_cast<MsgType>(i)) << "\":" << s.messages_by_type[i];
+    first = false;
+  }
+  if (!first) os << '}';
+  os << "}\n";
+}
+
+/// Walks events and round samples merged chronologically (events first
+/// within a round; both streams keep their internal order).
+template <typename EventFn, typename RoundFn>
+void merged_walk(const MemorySink& sink, EventFn&& on_event,
+                 RoundFn&& on_round) {
+  std::size_t ei = 0;
+  std::size_t ri = 0;
+  while (ei < sink.events.size() || ri < sink.rounds.size()) {
+    if (ri == sink.rounds.size() ||
+        (ei < sink.events.size() &&
+         sink.events[ei].round <= sink.rounds[ri].round)) {
+      on_event(sink.events[ei++]);
+    } else {
+      on_round(sink.rounds[ri++]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the fixed shape load_jsonl() accepts: one flat
+// object per line whose values are integers, strings, or one nested
+// object of integers. We never emit string escapes, so none are accepted.
+
+struct Value {
+  enum class Kind { kInt, kString, kObject };
+  Kind kind = Kind::kInt;
+  std::int64_t num = 0;
+  std::string str;
+  std::vector<std::pair<std::string, std::int64_t>> object;
+};
+
+using Object = std::vector<std::pair<std::string, Value>>;
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') return false;
+      out->push_back(*p++);
+    }
+    return eat('"');
+  }
+  bool parse_int(std::int64_t* out) {
+    skip_ws();
+    bool neg = false;
+    if (p < end && *p == '-') {
+      neg = true;
+      ++p;
+    }
+    if (p >= end || *p < '0' || *p > '9') return false;
+    std::int64_t v = 0;
+    while (p < end && *p >= '0' && *p <= '9') v = v * 10 + (*p++ - '0');
+    *out = neg ? -v : v;
+    return true;
+  }
+};
+
+bool parse_line(const std::string& line, Object* out) {
+  Cursor c{line.data(), line.data() + line.size()};
+  if (!c.eat('{')) return false;
+  out->clear();
+  if (!c.eat('}')) {
+    do {
+      std::string key;
+      if (!c.parse_string(&key) || !c.eat(':')) return false;
+      Value v;
+      if (c.peek('"')) {
+        v.kind = Value::Kind::kString;
+        if (!c.parse_string(&v.str)) return false;
+      } else if (c.eat('{')) {
+        v.kind = Value::Kind::kObject;
+        if (!c.peek('}')) {
+          do {
+            std::string sub;
+            std::int64_t num;
+            if (!c.parse_string(&sub) || !c.eat(':') || !c.parse_int(&num)) {
+              return false;
+            }
+            v.object.emplace_back(std::move(sub), num);
+          } while (c.eat(','));
+        }
+        if (!c.eat('}')) return false;
+      } else {
+        if (!c.parse_int(&v.num)) return false;
+      }
+      out->emplace_back(std::move(key), std::move(v));
+    } while (c.eat(','));
+  } else {
+    return true;
+  }
+  if (!c.eat('}')) return false;
+  c.skip_ws();
+  return c.p == c.end;
+}
+
+const Value* find(const Object& obj, const char* key) {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool get_int(const Object& obj, const char* key, std::int64_t* out) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kInt) return false;
+  *out = v->num;
+  return true;
+}
+
+bool get_string(const Object& obj, const char* key, std::string* out) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kString) return false;
+  *out = v->str;
+  return true;
+}
+
+bool phase_from_string(const std::string& name, Phase* out) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    if (name == to_string(static_cast<Phase>(i))) {
+      *out = static_cast<Phase>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool counter_from_string(const std::string& name, Counter* out) {
+  for (int i = 0; i < kCounterCount; ++i) {
+    if (name == to_string(static_cast<Counter>(i))) {
+      *out = static_cast<Counter>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool msg_type_from_string(const std::string& name, std::size_t* out) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (name == to_string(static_cast<MsgType>(i))) {
+      *out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fail(std::string* error, std::int64_t line_no, const char* what) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << what;
+    *error = os.str();
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const MemorySink& sink) {
+  os << "{\"t\":\"meta\",\"format\":\"dasm-trace\",\"version\":1}\n";
+  merged_walk(
+      sink, [&](const Event& ev) { write_event_line(os, ev); },
+      [&](const RoundSample& s) { write_round_line(os, s); });
+}
+
+std::string to_jsonl(const MemorySink& sink) {
+  std::ostringstream os;
+  write_jsonl(os, sink);
+  return os.str();
+}
+
+void write_chrome_trace(std::ostream& os, const MemorySink& sink) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << ',';
+    os << '\n';
+    first = false;
+  };
+  sep();
+  os << R"({"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"dasm"}})";
+
+  struct OpenSpan {
+    Event begin;
+  };
+  std::vector<OpenSpan> stack;
+  std::int64_t last_round = 0;
+  auto emit_span = [&](const Event& begin, std::int64_t end_round,
+                       std::int64_t end_messages) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\""
+       << to_string(begin.phase) << "\",\"ts\":" << begin.round * 1000
+       << ",\"dur\":" << (end_round - begin.round) * 1000
+       << ",\"args\":{\"index\":" << begin.index
+       << ",\"messages\":" << end_messages - begin.value << "}}";
+  };
+  merged_walk(
+      sink,
+      [&](const Event& ev) {
+        last_round = std::max(last_round, ev.round);
+        switch (ev.kind) {
+          case Event::Kind::kBegin:
+            stack.push_back(OpenSpan{ev});
+            break;
+          case Event::Kind::kEnd:
+            // Lenient on malformed input: an end with no matching open
+            // span is dropped instead of corrupting the stack.
+            if (!stack.empty() && stack.back().begin.phase == ev.phase &&
+                stack.back().begin.index == ev.index) {
+              emit_span(stack.back().begin, ev.round, ev.value);
+              stack.pop_back();
+            }
+            break;
+          case Event::Kind::kCounter:
+            sep();
+            os << "{\"ph\":\"C\",\"pid\":0,\"name\":\""
+               << to_string(ev.counter) << "\",\"ts\":" << ev.round * 1000
+               << ",\"args\":{\"value\":" << ev.value << "}}";
+            break;
+        }
+      },
+      [&](const RoundSample& s) {
+        last_round = std::max(last_round, s.round);
+        sep();
+        os << "{\"ph\":\"C\",\"pid\":0,\"name\":\"traffic\",\"ts\":"
+           << s.round * 1000 << ",\"args\":{\"total\":" << s.messages;
+        for (std::size_t i = 0; i < s.messages_by_type.size(); ++i) {
+          if (s.messages_by_type[i] == 0) continue;
+          os << ",\"" << to_string(static_cast<MsgType>(i))
+             << "\":" << s.messages_by_type[i];
+        }
+        os << "}}";
+      });
+  // Close anything a truncated trace left open, at the last seen round.
+  while (!stack.empty()) {
+    emit_span(stack.back().begin, last_round, stack.back().begin.value);
+    stack.pop_back();
+  }
+  os << "\n],\n\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_trace_file(const MemorySink& sink, const std::string& path) {
+  std::ofstream os(path);
+  DASM_CHECK_MSG(os.good(), "cannot open trace output file '" << path << "'");
+  const bool chrome =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (chrome) {
+    write_chrome_trace(os, sink);
+  } else {
+    write_jsonl(os, sink);
+  }
+  os.flush();
+  DASM_CHECK_MSG(os.good(), "error writing trace output file '" << path << "'");
+}
+
+bool load_jsonl(std::istream& in, MemorySink* out, std::string* error) {
+  out->clear();
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Object obj;
+    if (!parse_line(line, &obj)) {
+      return fail(error, line_no, "malformed JSON object");
+    }
+    std::string tag;
+    if (!get_string(obj, "t", &tag)) {
+      return fail(error, line_no, "missing \"t\" tag");
+    }
+    if (tag == "meta") {
+      std::string format;
+      std::int64_t version = 0;
+      if (!get_string(obj, "format", &format) || format != "dasm-trace" ||
+          !get_int(obj, "version", &version) || version != 1) {
+        return fail(error, line_no, "unsupported trace format/version");
+      }
+    } else if (tag == "b" || tag == "e") {
+      Event ev;
+      ev.kind = tag == "b" ? Event::Kind::kBegin : Event::Kind::kEnd;
+      std::string phase;
+      if (!get_string(obj, "ph", &phase) ||
+          !phase_from_string(phase, &ev.phase) ||
+          !get_int(obj, "i", &ev.index) || !get_int(obj, "r", &ev.round) ||
+          !get_int(obj, "m", &ev.value)) {
+        return fail(error, line_no, "malformed span event");
+      }
+      out->events.push_back(ev);
+    } else if (tag == "c") {
+      Event ev;
+      ev.kind = Event::Kind::kCounter;
+      std::string counter;
+      if (!get_string(obj, "k", &counter) ||
+          !counter_from_string(counter, &ev.counter) ||
+          !get_int(obj, "r", &ev.round) || !get_int(obj, "v", &ev.value)) {
+        return fail(error, line_no, "malformed counter event");
+      }
+      out->events.push_back(ev);
+    } else if (tag == "r") {
+      RoundSample s;
+      if (!get_int(obj, "r", &s.round) || !get_int(obj, "m", &s.messages) ||
+          !get_int(obj, "bits", &s.bits)) {
+        return fail(error, line_no, "malformed round sample");
+      }
+      if (const Value* by = find(obj, "by"); by != nullptr) {
+        if (by->kind != Value::Kind::kObject) {
+          return fail(error, line_no, "malformed \"by\" breakdown");
+        }
+        for (const auto& [name, count] : by->object) {
+          std::size_t idx = 0;
+          if (!msg_type_from_string(name, &idx)) {
+            return fail(error, line_no, "unknown message type in \"by\"");
+          }
+          s.messages_by_type[idx] = count;
+        }
+      }
+      out->rounds.push_back(s);
+    } else {
+      return fail(error, line_no, "unknown line tag");
+    }
+  }
+  return true;
+}
+
+}  // namespace dasm::obs

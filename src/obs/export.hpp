@@ -1,0 +1,46 @@
+// Trace serialization (ISSUE 4 tentpole, part 3).
+//
+// Two formats over the same MemorySink contents:
+//
+//   - JSONL: one JSON object per line, chronologically merged (events and
+//     round samples interleaved by round). This is the format dasm-trace
+//     loads back; load_jsonl() round-trips write_jsonl() exactly.
+//   - Chrome trace-event JSON (chrome://tracing, Perfetto): spans become
+//     complete ("X") events with ts = round * 1000 microseconds — one
+//     CONGEST round renders as one millisecond — counters and per-round
+//     traffic become counter ("C") series.
+//
+// Both writers emit integers only and never consult a clock, so the
+// bytes are a pure function of the recorded trace — the property the
+// cross-thread-count determinism tests assert.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace dasm::obs {
+
+/// Writes the JSONL form: a meta line, then events and round samples
+/// merged by round (events first within a round).
+void write_jsonl(std::ostream& os, const MemorySink& sink);
+
+/// Writes the Chrome trace-event form (a single JSON object).
+void write_chrome_trace(std::ostream& os, const MemorySink& sink);
+
+/// Writes to `path`, choosing the format by extension: ".json" selects
+/// the Chrome trace-event form, anything else JSONL. Throws CheckError
+/// when the file cannot be opened.
+void write_trace_file(const MemorySink& sink, const std::string& path);
+
+/// The JSONL form as a string (determinism tests compare these bytes).
+std::string to_jsonl(const MemorySink& sink);
+
+/// Parses a JSONL trace back into `*out` (cleared first). Returns false
+/// and fills *error (when non-null) on the first malformed line; unknown
+/// enum names and missing fields are errors, so a passing load validates
+/// the file.
+bool load_jsonl(std::istream& in, MemorySink* out, std::string* error);
+
+}  // namespace dasm::obs

@@ -1,0 +1,43 @@
+#include "obs/trace.hpp"
+
+namespace dasm::obs {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kRun:
+      return "run";
+    case Phase::kOuter:
+      return "outer";
+    case Phase::kInner:
+      return "inner";
+    case Phase::kProposalRound:
+      return "proposal_round";
+    case Phase::kMmPhase:
+      return "mm_phase";
+    case Phase::kMmIteration:
+      return "mm_iteration";
+  }
+  return "unknown";
+}
+
+const char* to_string(Counter counter) {
+  switch (counter) {
+    case Counter::kActiveMen:
+      return "active_men";
+    case Counter::kBadActiveMen:
+      return "bad_active_men";
+    case Counter::kMatchedPairs:
+      return "matched_pairs";
+    case Counter::kMenWithLiveTargets:
+      return "men_with_live_targets";
+    case Counter::kBlockingPairs:
+      return "blocking_pairs";
+    case Counter::kEpsBlockingPairs:
+      return "eps_blocking_pairs";
+    case Counter::kMmLiveNodes:
+      return "mm_live_nodes";
+  }
+  return "unknown";
+}
+
+}  // namespace dasm::obs

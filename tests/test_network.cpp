@@ -371,6 +371,93 @@ TEST(NetStatsTest, PlusEqualsIdentityAndEquality) {
   EXPECT_FALSE(c == before);
 }
 
+TEST(NetStatsTest, ResetThenPlusEqualsMatchesFreshStruct) {
+  NetStats delta;
+  delta.executed_rounds = 2;
+  delta.scheduled_rounds = 3;
+  delta.messages = 11;
+  delta.bits = 170;
+  delta.max_message_bits = 20;
+  delta.messages_by_type[static_cast<std::size_t>(MsgType::kAccept)] = 11;
+
+  // A window accumulator reused across iterations (mm::Runner's
+  // per_iteration_net series): after reset(), merging a delta must leave
+  // exactly the state a freshly-constructed struct would reach.
+  NetStats window;
+  window.executed_rounds = 99;
+  window.scheduled_rounds = 120;
+  window.messages = 5000;
+  window.bits = 123456;
+  window.max_message_bits = 64;
+  window.messages_by_type[static_cast<std::size_t>(MsgType::kReject)] = 5000;
+
+  window.reset();
+  EXPECT_EQ(window, NetStats{});
+  window += delta;
+
+  NetStats fresh;
+  fresh += delta;
+  EXPECT_EQ(window, fresh);
+  // reset() cleared max_message_bits too: the merged max is delta's, not
+  // the stale 64 from before the reset.
+  EXPECT_EQ(window.max_message_bits, 20);
+}
+
+TEST(NetStatsTest, DeltaSinceSubtractsCounters) {
+  NetStats base;
+  base.executed_rounds = 4;
+  base.scheduled_rounds = 6;
+  base.messages = 30;
+  base.bits = 500;
+  base.max_message_bits = 16;
+  base.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] = 30;
+
+  NetStats later = base;
+  later.executed_rounds += 3;
+  later.scheduled_rounds += 3;
+  later.messages += 12;
+  later.bits += 200;
+  later.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] += 5;
+  later.messages_by_type[static_cast<std::size_t>(MsgType::kAccept)] += 7;
+
+  const NetStats d = later.delta_since(base);
+  EXPECT_EQ(d.executed_rounds, 3);
+  EXPECT_EQ(d.scheduled_rounds, 3);
+  EXPECT_EQ(d.messages, 12);
+  EXPECT_EQ(d.bits, 200);
+  EXPECT_EQ(d.max_message_bits, 16);  // carries, no windowed inverse
+  EXPECT_EQ(d.count_of(MsgType::kPropose), 5);
+  EXPECT_EQ(d.count_of(MsgType::kAccept), 7);
+
+  // A zero-width window has empty counters; only max_message_bits remains.
+  NetStats self = later.delta_since(later);
+  EXPECT_EQ(self.max_message_bits, 16);
+  self.max_message_bits = 0;
+  EXPECT_EQ(self, NetStats{});
+}
+
+TEST(NetworkTest, RoundHookFiresAfterEachEndRound) {
+  Network net(triangle());
+  std::vector<std::int64_t> rounds_seen;
+  std::vector<std::int64_t> messages_seen;
+  net.set_round_hook([&](const NetStats& s) {
+    rounds_seen.push_back(s.executed_rounds);
+    messages_seen.push_back(s.messages);
+  });
+  net.begin_round();
+  net.send(0, 1, Message{MsgType::kPropose});
+  net.end_round();
+  net.begin_round();
+  net.end_round();
+  EXPECT_EQ(rounds_seen, (std::vector<std::int64_t>{1, 2}));
+  // The hook sees final stats: lane flush and counting precede it.
+  EXPECT_EQ(messages_seen, (std::vector<std::int64_t>{1, 1}));
+  net.set_round_hook({});
+  net.begin_round();
+  net.end_round();
+  EXPECT_EQ(rounds_seen.size(), 2u);  // cleared hooks no longer fire
+}
+
 #ifndef NDEBUG
 TEST(NetStatsTest, CountOfOutOfRangeTypeFailsLoudlyInDebug) {
   // DASM_DCHECK compiles out under NDEBUG, so the bounds assertion is only

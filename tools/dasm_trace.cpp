@@ -1,0 +1,272 @@
+// dasm-trace: inspect a JSONL trace emitted by the observability subsystem
+// (src/obs/, ISSUE 4). Prints per-phase round/message rollups and a
+// per-inner-iteration convergence table, and can convert the trace to
+// Chrome trace-event JSON for chrome://tracing / Perfetto.
+//
+// Usage:
+//   dasm-trace TRACE.jsonl                 # rollups + convergence tables
+//   dasm-trace TRACE.jsonl --chrome OUT.json
+//   some-bench --trace-out - | dasm-trace -   # read the trace from stdin
+//
+// Exits nonzero when the trace fails to parse, so the experiment harness
+// can use a plain load as a validity check.
+
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dasm::MsgType;
+using dasm::Table;
+using dasm::obs::Counter;
+using dasm::obs::Event;
+using dasm::obs::kCounterCount;
+using dasm::obs::kPhaseCount;
+using dasm::obs::MemorySink;
+using dasm::obs::Phase;
+using dasm::obs::RoundSample;
+
+// Per-phase totals over every span of that phase. Spans record the network
+// round and cumulative message count at begin/end, so both costs are
+// subtractions; "rounds" of nested phases overlap their parents by design
+// (this is a taxonomy rollup, not a partition).
+struct PhaseTotals {
+  std::int64_t spans = 0;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+};
+
+void print_phase_rollup(const MemorySink& sink, std::ostream& os) {
+  std::array<PhaseTotals, kPhaseCount> totals{};
+  std::vector<Event> stack;
+  for (const Event& e : sink.events) {
+    if (e.kind == Event::Kind::kBegin) {
+      stack.push_back(e);
+    } else if (e.kind == Event::Kind::kEnd) {
+      if (stack.empty() || stack.back().phase != e.phase) continue;
+      const Event b = stack.back();
+      stack.pop_back();
+      PhaseTotals& t = totals[static_cast<std::size_t>(e.phase)];
+      ++t.spans;
+      t.rounds += e.round - b.round;
+      t.messages += e.value - b.value;
+    }
+  }
+
+  Table table({"phase", "spans", "rounds", "messages", "rounds/span",
+               "msgs/span"});
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const PhaseTotals& t = totals[static_cast<std::size_t>(p)];
+    if (t.spans == 0) continue;
+    const double spans = static_cast<double>(t.spans);
+    table.add_row({dasm::obs::to_string(static_cast<Phase>(p)),
+                   Table::num(t.spans), Table::num(t.rounds),
+                   Table::num(t.messages),
+                   Table::num(static_cast<double>(t.rounds) / spans, 2),
+                   Table::num(static_cast<double>(t.messages) / spans, 1)});
+  }
+  os << "Per-phase rollup (nested phases overlap their parents):\n";
+  table.print(os);
+}
+
+void print_traffic_summary(const MemorySink& sink, std::ostream& os) {
+  if (sink.rounds.empty()) return;
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+  std::array<std::int64_t, 16> by_type{};
+  RoundSample busiest;
+  for (const RoundSample& r : sink.rounds) {
+    messages += r.messages;
+    bits += r.bits;
+    for (std::size_t i = 0; i < by_type.size(); ++i) {
+      by_type[i] += r.messages_by_type[i];
+    }
+    if (r.messages > busiest.messages) busiest = r;
+  }
+  os << "Rounds sampled: " << sink.rounds.size() << ", messages: " << messages
+     << ", bits: " << bits << ", busiest round: " << busiest.round << " ("
+     << busiest.messages << " msgs)\n";
+  Table table({"msg type", "messages", "share"});
+  for (std::size_t i = 0; i < by_type.size(); ++i) {
+    if (by_type[i] == 0) continue;
+    table.add_row({to_string(static_cast<MsgType>(i)), Table::num(by_type[i]),
+                   Table::num(100.0 * static_cast<double>(by_type[i]) /
+                                  static_cast<double>(messages),
+                              1)});
+  }
+  if (table.rows() > 0) {
+    os << "Traffic by message type:\n";
+    table.print(os);
+  }
+}
+
+// One row per inner iteration (ASM engines) — the latest value of each
+// engine counter at the moment the inner span closed. This is the
+// convergence curve of the run: matched size up, active men down.
+void print_convergence(const MemorySink& sink, std::ostream& os) {
+  std::array<std::optional<std::int64_t>, kCounterCount> latest{};
+  std::int64_t outer = -1;
+  struct Row {
+    std::int64_t outer;
+    std::int64_t inner;
+    std::int64_t round;
+    std::array<std::optional<std::int64_t>, kCounterCount> counters;
+  };
+  std::vector<Row> rows;
+  for (const Event& e : sink.events) {
+    switch (e.kind) {
+      case Event::Kind::kCounter:
+        latest[static_cast<std::size_t>(e.counter)] = e.value;
+        break;
+      case Event::Kind::kBegin:
+        if (e.phase == Phase::kOuter) outer = e.index;
+        break;
+      case Event::Kind::kEnd:
+        if (e.phase == Phase::kInner) {
+          rows.push_back(Row{outer, e.index, e.round, latest});
+        }
+        break;
+    }
+  }
+  if (rows.empty()) return;
+
+  // Only show counter columns the trace actually populated (blocking-pair
+  // columns appear only when the run sampled them).
+  std::array<bool, kCounterCount> present{};
+  for (const Row& r : rows) {
+    for (int c = 0; c < kCounterCount; ++c) {
+      if (r.counters[static_cast<std::size_t>(c)]) {
+        present[static_cast<std::size_t>(c)] = true;
+      }
+    }
+  }
+  std::vector<std::string> headers = {"outer", "inner", "round"};
+  for (int c = 0; c < kCounterCount; ++c) {
+    if (present[static_cast<std::size_t>(c)]) {
+      headers.push_back(dasm::obs::to_string(static_cast<Counter>(c)));
+    }
+  }
+  Table table(headers);
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {Table::num(r.outer), Table::num(r.inner),
+                                      Table::num(r.round)};
+    for (int c = 0; c < kCounterCount; ++c) {
+      if (!present[static_cast<std::size_t>(c)]) continue;
+      const auto& v = r.counters[static_cast<std::size_t>(c)];
+      cells.push_back(v ? Table::num(*v) : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  os << "Convergence by inner iteration:\n";
+  table.print(os);
+}
+
+// MM-runner traces have no inner iterations; show the Lemma-8 decay series
+// (live nodes after each protocol iteration) instead.
+void print_mm_decay(const MemorySink& sink, std::ostream& os) {
+  struct Row {
+    std::int64_t iteration;
+    std::int64_t round;
+    std::int64_t live;
+  };
+  std::vector<Row> rows;
+  std::int64_t live = 0;
+  bool have_live = false;
+  for (const Event& e : sink.events) {
+    if (e.kind == Event::Kind::kCounter && e.counter == Counter::kMmLiveNodes) {
+      live = e.value;
+      have_live = true;
+    } else if (e.kind == Event::Kind::kEnd && e.phase == Phase::kMmIteration &&
+               have_live) {
+      rows.push_back(Row{e.index, e.round, live});
+      have_live = false;
+    }
+  }
+  if (rows.empty()) return;
+  Table table({"iteration", "round", "live nodes"});
+  for (const Row& r : rows) {
+    table.add_row(
+        {Table::num(r.iteration), Table::num(r.round), Table::num(r.live)});
+  }
+  os << "MM live-node decay:\n";
+  table.print(os);
+}
+
+bool has_inner_spans(const MemorySink& sink) {
+  for (const Event& e : sink.events) {
+    if (e.kind == Event::Kind::kBegin && e.phase == Phase::kInner) return true;
+  }
+  return false;
+}
+
+int usage(const char* prog) {
+  std::cerr << "usage: " << prog << " TRACE.jsonl [--chrome OUT.json]\n"
+            << "  TRACE.jsonl  JSONL trace written by --trace-out (\"-\" for"
+               " stdin)\n"
+            << "  --chrome     also convert to Chrome trace-event JSON\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dasm::Cli cli(argc, argv);
+  if (cli.positional().size() != 1) return usage(argv[0]);
+  const std::string& path = cli.positional()[0];
+
+  MemorySink sink;
+  std::string error;
+  bool ok = false;
+  if (path == "-") {
+    ok = dasm::obs::load_jsonl(std::cin, &sink, &error);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "dasm-trace: cannot open " << path << "\n";
+      return 1;
+    }
+    ok = dasm::obs::load_jsonl(in, &sink, &error);
+  }
+  if (!ok) {
+    std::cerr << "dasm-trace: " << path << ": " << error << "\n";
+    return 1;
+  }
+
+  if (cli.has("chrome")) {
+    const std::string out_path = cli.get("chrome", "");
+    if (out_path.empty()) return usage(argv[0]);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "dasm-trace: cannot write " << out_path << "\n";
+      return 1;
+    }
+    dasm::obs::write_chrome_trace(out, sink);
+    std::cout << "wrote " << out_path << " (" << sink.events.size()
+              << " events, " << sink.rounds.size() << " round samples)\n";
+    return 0;
+  }
+
+  std::cout << "Trace: " << path << " — " << sink.events.size() << " events, "
+            << sink.rounds.size() << " round samples\n\n";
+  print_phase_rollup(sink, std::cout);
+  std::cout << "\n";
+  print_traffic_summary(sink, std::cout);
+  std::cout << "\n";
+  if (has_inner_spans(sink)) {
+    print_convergence(sink, std::cout);
+  } else {
+    print_mm_decay(sink, std::cout);
+  }
+  return 0;
+}

@@ -110,6 +110,7 @@ class LegacyEngine {
     }
     outboxes_[static_cast<std::size_t>(to)].push_back(Envelope{from, msg});
     ++stats_.messages;
+    ++stats_.delivered;  // reliable wire: every committed send arrives
     ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
     stats_.bits += bits;
     stats_.max_message_bits = std::max(stats_.max_message_bits, bits);

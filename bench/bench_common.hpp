@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <string>
 
@@ -43,8 +44,37 @@ struct Options {
   std::string trace_out;
 };
 
-inline Options parse_options(int argc, const char* const* argv) {
+/// Parses the shared flags, rejecting anything unrecognized: an unknown
+/// flag or stray positional exits with status 2 and a usage message, so a
+/// typo'd `--theads 4` aborts loudly instead of silently running serial.
+/// `extra_flags` lets a binary accept additional flags of its own.
+inline Options parse_options(int argc, const char* const* argv,
+                             std::initializer_list<const char*> extra_flags = {}) {
   const Cli cli(argc, argv);
+  auto known = [&](const std::string& name) {
+    if (name == "threads" || name == "trace-out") return true;
+    for (const char* extra : extra_flags) {
+      if (name == extra) return true;
+    }
+    return false;
+  };
+  bool bad = false;
+  for (const std::string& name : cli.flag_names()) {
+    if (known(name)) continue;
+    std::cerr << cli.program() << ": unknown flag --" << name << "\n";
+    bad = true;
+  }
+  for (const std::string& pos : cli.positional()) {
+    std::cerr << cli.program() << ": unexpected argument '" << pos << "'\n";
+    bad = true;
+  }
+  if (bad) {
+    std::cerr << "usage: " << cli.program()
+              << " [--threads N] [--trace-out PATH]";
+    for (const char* extra : extra_flags) std::cerr << " [--" << extra << " V]";
+    std::cerr << "\n";
+    std::exit(2);
+  }
   Options opt;
   const auto threads = cli.get_int("threads", 0);
   opt.threads =

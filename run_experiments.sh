@@ -53,11 +53,17 @@ if [ "${1:-}" = "--check" ]; then
   exit 0
 fi
 
+usage() {
+  echo "usage: $0 [output-file] [--threads N] | $0 --check" >&2
+  exit 2
+}
+
 out=""
 threads=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --threads)
+      [ $# -ge 2 ] || { echo "$0: --threads needs a value" >&2; usage; }
       threads="$2"
       shift 2
       ;;
@@ -65,12 +71,22 @@ while [ $# -gt 0 ]; do
       threads="${1#--threads=}"
       shift
       ;;
+    --*)
+      # A typo'd flag (e.g. --theads 4) must abort, not silently become
+      # the output file and run serial.
+      echo "$0: unknown flag $1" >&2
+      usage
+      ;;
     *)
+      [ -z "$out" ] || { echo "$0: unexpected argument '$1'" >&2; usage; }
       out="$1"
       shift
       ;;
   esac
 done
+case "$threads" in
+  ''|*[!0-9]*) echo "$0: --threads expects a non-negative integer, got '$threads'" >&2; usage ;;
+esac
 out="${out:-experiments_output.txt}"
 
 cmake -B build -G Ninja

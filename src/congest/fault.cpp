@@ -1,0 +1,38 @@
+#include "congest/fault.hpp"
+
+#include "util/check.hpp"
+
+namespace dasm {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  DASM_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                 what << " must be a probability in [0, 1], got " << p);
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_probability(drop, "FaultPlan::drop");
+  check_probability(duplicate, "FaultPlan::duplicate");
+  check_probability(delay, "FaultPlan::delay");
+  DASM_CHECK_MSG(max_delay >= 0, "FaultPlan::max_delay must be >= 0, got "
+                                     << max_delay);
+  DASM_CHECK_MSG(delay == 0.0 || max_delay >= 1,
+                 "FaultPlan::delay > 0 requires max_delay >= 1");
+  for (const EdgeDrop& e : edge_drops) {
+    check_probability(e.drop, "EdgeDrop::drop");
+    DASM_CHECK_MSG(e.from >= 0 && e.to >= 0 && e.from != e.to,
+                   "EdgeDrop override names an invalid directed edge "
+                       << e.from << " -> " << e.to);
+  }
+  for (const CrashEvent& c : crashes) {
+    DASM_CHECK_MSG(c.round >= 0, "CrashEvent::round must be >= 0, got "
+                                     << c.round);
+    DASM_CHECK_MSG(c.node >= 0, "CrashEvent::node must be a valid node, got "
+                                    << c.node);
+  }
+}
+
+}  // namespace dasm

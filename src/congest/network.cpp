@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "par/thread_pool.hpp"
@@ -19,6 +20,11 @@ NetStats& NetStats::operator+=(const NetStats& other) {
   for (std::size_t i = 0; i < messages_by_type.size(); ++i) {
     messages_by_type[i] += other.messages_by_type[i];
   }
+  delivered += other.delivered;
+  dropped += other.dropped;
+  duplicated += other.duplicated;
+  retransmitted += other.retransmitted;
+  filtered += other.filtered;
   return *this;
 }
 
@@ -33,6 +39,11 @@ NetStats NetStats::delta_since(const NetStats& base) const {
   for (std::size_t i = 0; i < d.messages_by_type.size(); ++i) {
     d.messages_by_type[i] -= base.messages_by_type[i];
   }
+  d.delivered -= base.delivered;
+  d.dropped -= base.dropped;
+  d.duplicated -= base.duplicated;
+  d.retransmitted -= base.retransmitted;
+  d.filtered -= base.filtered;
   return d;
 }
 
@@ -171,18 +182,31 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
   commit_send(from, to, bits, msg);
 }
 
+void Network::record_trace_event(NodeId from, NodeId to, const Message& msg) {
+  if (trace_cap_ == 0) return;
+  const TraceEvent event{stats_.executed_rounds, from, to, msg};
+  if (trace_size_ < trace_cap_) {
+    trace_ring_[(trace_start_ + trace_size_) % trace_cap_] = event;
+    ++trace_size_;
+  } else {
+    trace_ring_[trace_start_] = event;
+    trace_start_ = (trace_start_ + 1) % trace_cap_;
+    ++trace_dropped_;
+  }
+}
+
 void Network::commit_send(NodeId from, NodeId to, int bits,
                           const Message& msg) {
-  if (trace_cap_ > 0) {
-    const TraceEvent event{stats_.executed_rounds, from, to, msg};
-    if (trace_size_ < trace_cap_) {
-      trace_ring_[(trace_start_ + trace_size_) % trace_cap_] = event;
-      ++trace_size_;
-    } else {
-      trace_ring_[trace_start_] = event;
-      trace_start_ = (trace_start_ + 1) % trace_cap_;
-      ++trace_dropped_;
-    }
+  record_trace_event(from, to, msg);
+  // messages/bits count the protocol's offered load whether or not the
+  // fault layer then loses the copy; the fault counters partition its fate.
+  ++stats_.messages;
+  ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
+  stats_.bits += bits;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+  if (fault_mode_) [[unlikely]] {
+    fault_commit_send(from, to, msg);
+    return;
   }
   Arena& out = arenas_[delivered_ ^ 1];
   auto& fill = out.fill[static_cast<std::size_t>(to)];
@@ -192,10 +216,7 @@ void Network::commit_send(NodeId from, NodeId to, int bits,
   out.slots[slot_offset_[static_cast<std::size_t>(to)] +
             static_cast<std::size_t>(fill)] = Envelope{from, msg};
   ++fill;
-  ++stats_.messages;
-  ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
-  stats_.bits += bits;
-  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+  ++stats_.delivered;
 }
 
 void Network::set_send_lanes(int lanes) {
@@ -228,6 +249,23 @@ void Network::end_round() {
   DASM_CHECK_MSG(round_open_, "end_round() without begin_round()");
   flush_lanes();
   round_open_ = false;
+  if (fault_mode_) [[unlikely]] {
+    // One protocol round expands into wire rounds: at least one, and with
+    // the reliability sublayer as many as it takes for every payload born
+    // this round to be delivered or permanently dead — loss costs rounds,
+    // not correctness. Each wire round ticks executed/scheduled rounds and
+    // fires the obs hook, so traces and stats see the real wire activity.
+    run_wire_round();
+    std::int64_t wire_rounds = 1;
+    while (unresolved_payloads_ > 0) {
+      DASM_CHECK_MSG(++wire_rounds < 1'000'000,
+                     "reliability sublayer failed to settle a round ("
+                         << unresolved_payloads_ << " payloads open)");
+      run_wire_round();
+    }
+    publish_fault_round();
+    return;
+  }
   // Retire the arena that was readable this round: reset only the slots
   // that held messages, then flip. No container grows or shrinks here, so
   // steady-state rounds perform no allocations.
@@ -243,6 +281,306 @@ void Network::end_round() {
   if (round_hook_) round_hook_(stats_);
 }
 
+void Network::set_fault_plan(const FaultPlan& plan) {
+  DASM_CHECK_MSG(!round_open_, "set_fault_plan() while a round is open");
+  DASM_CHECK_MSG(pending_copies_ == 0 && payloads_.empty(),
+                 "set_fault_plan() with wire copies still in flight");
+  plan.validate();
+  for (const CrashEvent& c : plan.crashes) {
+    DASM_CHECK_MSG(c.node < node_count(),
+                   "CrashEvent names node " << c.node << " of a "
+                                            << node_count() << "-node network");
+  }
+  for (const EdgeDrop& e : plan.edge_drops) {
+    DASM_CHECK_MSG(has_edge(e.from, e.to), "EdgeDrop override on non-edge "
+                                               << e.from << " -> " << e.to);
+  }
+  plan_ = plan;
+  drop_threshold_ = probability_threshold(plan.drop);
+  dup_threshold_ = probability_threshold(plan.duplicate);
+  delay_threshold_ =
+      plan.max_delay > 0 ? probability_threshold(plan.delay) : 0;
+  edge_drop_override_.clear();
+  for (const EdgeDrop& e : plan.edge_drops) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.from)) << 32) |
+        static_cast<std::uint32_t>(e.to);
+    edge_drop_override_.emplace_back(key, probability_threshold(e.drop));
+  }
+  std::sort(edge_drop_override_.begin(), edge_drop_override_.end());
+  for (std::size_t i = 1; i < edge_drop_override_.size(); ++i) {
+    DASM_CHECK_MSG(edge_drop_override_[i - 1].first !=
+                       edge_drop_override_[i].first,
+                   "duplicate EdgeDrop override for one directed edge");
+  }
+  crash_round_.clear();
+  if (!plan.crashes.empty()) {
+    crash_round_.assign(static_cast<std::size_t>(node_count()),
+                        std::numeric_limits<Round>::max());
+    for (const CrashEvent& c : plan.crashes) {
+      auto& r = crash_round_[static_cast<std::size_t>(c.node)];
+      r = std::min(r, c.round);
+    }
+  }
+  refresh_fault_mode();
+}
+
+void Network::set_reliable_transport(int retransmit_after,
+                                     int max_retransmits) {
+  DASM_CHECK_MSG(!round_open_,
+                 "set_reliable_transport() while a round is open");
+  DASM_CHECK_MSG(retransmit_after >= 0,
+                 "retransmit_after must be >= 0, got " << retransmit_after);
+  DASM_CHECK_MSG(retransmit_after == 0 || max_retransmits >= 1,
+                 "max_retransmits must be >= 1, got " << max_retransmits);
+  DASM_CHECK_MSG(payloads_.empty(),
+                 "set_reliable_transport() with unacked payloads in flight");
+  retransmit_after_ = retransmit_after;
+  max_retransmits_ = max_retransmits;
+  refresh_fault_mode();
+}
+
+void Network::refresh_fault_mode() {
+  const bool on = plan_.active() || retransmit_after_ > 0;
+  if (!on) {
+    fault_mode_ = false;
+    return;
+  }
+  fault_mode_ = true;
+  const auto n = static_cast<std::size_t>(node_count());
+  // Dues span [wire_round, wire_round + max(1, max_delay)] (duplicates and
+  // acks arrive at least one round late), so this size keeps ring slots
+  // collision-free.
+  ring_.resize(static_cast<std::size_t>(std::max(plan_.max_delay, 1)) + 2);
+  f_staging_.resize(n);
+  f_front_.resize(n);
+}
+
+bool Network::node_crashed(NodeId v, std::int64_t wire_round) const {
+  if (crash_round_.empty()) return false;
+  return crash_round_[static_cast<std::size_t>(v)] <= wire_round;
+}
+
+std::uint64_t Network::drop_threshold_for(NodeId from, NodeId to) const {
+  if (edge_drop_override_.empty()) return drop_threshold_;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+      static_cast<std::uint32_t>(to);
+  const auto it = std::lower_bound(
+      edge_drop_override_.begin(), edge_drop_override_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  if (it != edge_drop_override_.end() && it->first == key) return it->second;
+  return drop_threshold_;
+}
+
+void Network::fault_commit_send(NodeId from, NodeId to, const Message& msg) {
+  const std::int64_t ordinal = commit_ordinal_++;
+  const std::int64_t wire_round = stats_.executed_rounds;
+  if (node_crashed(from, wire_round) || node_crashed(to, wire_round)) {
+    // Crash-stop: a crashed endpoint kills the send outright (for a
+    // crashed receiver this approximates a perfect failure detector — the
+    // reliability sublayer would otherwise retransmit into the void until
+    // its cap; see DESIGN.md §8).
+    ++stats_.dropped;
+    return;
+  }
+  if (retransmit_after_ > 0) {
+    const std::int64_t id = next_payload_id_++;
+    payloads_.emplace(
+        id, Payload{from, to, ordinal, wire_round, 1, false, msg});
+    ++unresolved_payloads_;
+    transmit_copy(from, to, ordinal, id, /*is_ack=*/false,
+                  /*may_duplicate=*/true, msg);
+  } else {
+    transmit_copy(from, to, ordinal, /*payload_id=*/-1, /*is_ack=*/false,
+                  /*may_duplicate=*/true, msg);
+  }
+}
+
+void Network::transmit_copy(NodeId from, NodeId to, std::int64_t ordinal,
+                            std::int64_t payload_id, bool is_ack,
+                            bool may_duplicate, const Message& msg) {
+  const auto wire_round = static_cast<std::uint64_t>(stats_.executed_rounds);
+  const std::uint64_t edge_key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+      static_cast<std::uint32_t>(to);
+  const auto copy_id = static_cast<std::uint64_t>(copy_counter_++);
+  if (is_ack) {
+    // Control-plane: acks roll their own loss but are invisible to every
+    // NetStats counter — a lost ack only costs a spurious retransmission,
+    // which the idempotent filter absorbs on arrival.
+    if (fault_mix(plan_.seed ^ kFaultAckSalt, wire_round, edge_key, copy_id) <
+        drop_threshold_for(from, to)) {
+      return;
+    }
+    ring_[static_cast<std::size_t>((wire_round + 1) % ring_.size())].push_back(
+        WireCopy{from, to, ordinal, payload_id, true, msg});
+    return;
+  }
+  if (fault_mix(plan_.seed ^ kFaultDropSalt, wire_round, edge_key, copy_id) <
+      drop_threshold_for(from, to)) {
+    ++stats_.dropped;  // a sequenced payload stays open and retransmits
+  } else {
+    std::uint64_t due = wire_round;
+    if (delay_threshold_ != 0 &&
+        fault_mix(plan_.seed ^ kFaultDelaySalt, wire_round, edge_key,
+                  copy_id) < delay_threshold_) {
+      due += 1 + fault_mix(plan_.seed ^ kFaultDelayAmountSalt, wire_round,
+                           edge_key, copy_id) %
+                     static_cast<std::uint64_t>(plan_.max_delay);
+    }
+    ring_[static_cast<std::size_t>(due % ring_.size())].push_back(
+        WireCopy{from, to, ordinal, payload_id, false, msg});
+    ++pending_copies_;
+  }
+  if (may_duplicate && dup_threshold_ != 0 &&
+      fault_mix(plan_.seed ^ kFaultDuplicateSalt, wire_round, edge_key,
+                copy_id) < dup_threshold_) {
+    // The duplicate re-rolls its own loss and arrives 1..max(1, max_delay)
+    // rounds late; duplicates never duplicate again.
+    ++stats_.duplicated;
+    const auto dup_id = static_cast<std::uint64_t>(copy_counter_++);
+    if (fault_mix(plan_.seed ^ kFaultDropSalt, wire_round, edge_key, dup_id) <
+        drop_threshold_for(from, to)) {
+      ++stats_.dropped;
+    } else {
+      const auto span =
+          static_cast<std::uint64_t>(std::max(plan_.max_delay, 1));
+      const std::uint64_t due =
+          wire_round + 1 +
+          fault_mix(plan_.seed ^ kFaultDelayAmountSalt, wire_round, edge_key,
+                    dup_id) %
+              span;
+      ring_[static_cast<std::size_t>(due % ring_.size())].push_back(
+          WireCopy{from, to, ordinal, payload_id, false, msg});
+      ++pending_copies_;
+    }
+  }
+}
+
+void Network::run_wire_round() {
+  const std::int64_t wire_round = stats_.executed_rounds;
+  if (retransmit_after_ > 0) {
+    // Retransmit scan in payload-id (= original send) order. Every
+    // undelivered payload in the map was born in the current protocol
+    // round — end_round() never returns while one is open.
+    for (auto it = payloads_.begin(); it != payloads_.end();) {
+      Payload& p = it->second;
+      const bool endpoint_crashed = node_crashed(p.from, wire_round) ||
+                                    node_crashed(p.to, wire_round);
+      if (p.delivered) {
+        // Only the ack is outstanding. A crashed endpoint can neither
+        // retransmit nor ack, and the attempt cap bounds how long a lost
+        // ack keeps the payload alive.
+        if (endpoint_crashed ||
+            (wire_round - p.last_tx >= retransmit_after_ &&
+             p.attempts > max_retransmits_)) {
+          it = payloads_.erase(it);
+          continue;
+        }
+      } else if (endpoint_crashed || (wire_round - p.last_tx >=
+                                          retransmit_after_ &&
+                                      p.attempts > max_retransmits_)) {
+        // Permanently dead: the copies it sent were each counted dropped
+        // (or are still pending) individually.
+        --unresolved_payloads_;
+        it = payloads_.erase(it);
+        continue;
+      }
+      if (wire_round - p.last_tx >= retransmit_after_) {
+        ++p.attempts;
+        p.last_tx = wire_round;
+        ++stats_.retransmitted;
+        record_trace_event(p.from, p.to, p.msg);
+        transmit_copy(p.from, p.to, p.ordinal, it->first, /*is_ack=*/false,
+                      /*may_duplicate=*/true, p.msg);
+      }
+      ++it;
+    }
+  }
+  // Drain the copies due this wire round, in enqueue order. Acks created
+  // here land in the next round's slot, never the one being drained.
+  auto& due = ring_[static_cast<std::size_t>(
+      static_cast<std::uint64_t>(wire_round) % ring_.size())];
+  for (const WireCopy& copy : due) deliver_copy(copy, wire_round);
+  due.clear();
+  ++stats_.executed_rounds;
+  ++stats_.scheduled_rounds;
+  if (round_hook_) round_hook_(stats_);
+}
+
+void Network::deliver_copy(const WireCopy& copy, std::int64_t wire_round) {
+  if (copy.is_ack) {
+    // The sender forgets an acked payload; a stale ack (payload already
+    // erased) or an ack into a crashed sender is silently ignored.
+    if (!node_crashed(copy.to, wire_round)) payloads_.erase(copy.payload_id);
+    return;
+  }
+  --pending_copies_;
+  if (node_crashed(copy.to, wire_round)) {
+    ++stats_.dropped;
+    if (copy.payload_id >= 0) {
+      const auto it = payloads_.find(copy.payload_id);
+      if (it != payloads_.end() && !it->second.delivered) {
+        --unresolved_payloads_;
+        payloads_.erase(it);
+      }
+    }
+    return;
+  }
+  if (copy.payload_id >= 0) {
+    const auto it = payloads_.find(copy.payload_id);
+    if (it == payloads_.end() || it->second.delivered) {
+      // Idempotent-delivery filter: this sequence number already reached
+      // the inbox (network duplicate, delayed copy, or a retransmission
+      // whose ack was lost). Re-ack so the sender stops retrying.
+      ++stats_.filtered;
+    } else {
+      it->second.delivered = true;
+      --unresolved_payloads_;
+      stage_arrival(copy.to, copy.ordinal, Envelope{copy.from, copy.msg});
+      ++stats_.delivered;
+    }
+    transmit_copy(copy.to, copy.from, copy.ordinal, copy.payload_id,
+                  /*is_ack=*/true, /*may_duplicate=*/false, copy.msg);
+    return;
+  }
+  stage_arrival(copy.to, copy.ordinal, Envelope{copy.from, copy.msg});
+  ++stats_.delivered;
+}
+
+void Network::stage_arrival(NodeId to, std::int64_t ordinal,
+                            const Envelope& env) {
+  auto& staged = f_staging_[static_cast<std::size_t>(to)];
+  if (staged.empty()) f_staging_dirty_.push_back(to);
+  staged.push_back(StagedArrival{ordinal, env});
+}
+
+void Network::publish_fault_round() {
+  for (const NodeId v : f_front_dirty_) {
+    f_front_[static_cast<std::size_t>(v)].clear();
+  }
+  f_front_dirty_.clear();
+  std::int64_t published = 0;
+  for (const NodeId v : f_staging_dirty_) {
+    auto& staged = f_staging_[static_cast<std::size_t>(v)];
+    // Commit-ordinal order: a reliable faulty execution reads each inbox
+    // in exactly the fault-free order (duplicates of one send share its
+    // ordinal; the stable sort keeps their arrival order).
+    std::stable_sort(staged.begin(), staged.end(),
+                     [](const StagedArrival& a, const StagedArrival& b) {
+                       return a.ordinal < b.ordinal;
+                     });
+    auto& front = f_front_[static_cast<std::size_t>(v)];
+    for (const StagedArrival& s : staged) front.push_back(s.env);
+    published += static_cast<std::int64_t>(staged.size());
+    staged.clear();
+    f_front_dirty_.push_back(v);
+  }
+  f_staging_dirty_.clear();
+  last_round_silent_ = published == 0;
+}
+
 void Network::set_round_hook(std::function<void(const NetStats&)> hook) {
   DASM_CHECK_MSG(!round_open_, "set_round_hook() while a round is open");
   round_hook_ = std::move(hook);
@@ -250,6 +588,10 @@ void Network::set_round_hook(std::function<void(const NetStats&)> hook) {
 
 InboxView Network::inbox(NodeId v) const {
   DASM_CHECK(v >= 0 && v < node_count());
+  if (fault_mode_) [[unlikely]] {
+    const auto& box = f_front_[static_cast<std::size_t>(v)];
+    return InboxView{box.data(), box.size()};
+  }
   const Arena& in = arenas_[delivered_];
   const auto sv = static_cast<std::size_t>(v);
   return InboxView{in.slots.data() + slot_offset_[sv],

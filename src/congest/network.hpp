@@ -29,9 +29,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "congest/message.hpp"
 #include "congest/types.hpp"
 #include "util/check.hpp"
@@ -70,6 +73,24 @@ struct NetStats {
   /// Message count per MsgType — the traffic breakdown of a protocol
   /// (how much is proposing vs. rejecting vs. matching-subroutine).
   std::array<std::int64_t, 16> messages_by_type{};
+
+  // Fault-layer accounting (DESIGN.md §8). `messages`/`bits` above count
+  // the protocol's offered load (every send() call); the counters below
+  // partition what the network then did with each wire copy. On the
+  // reliable fast path delivered == messages and the rest stay 0. The
+  // conservation law (asserted in test_network.cpp) is
+  //
+  //   messages + duplicated + retransmitted ==
+  //       delivered + dropped + filtered + (copies still in flight)
+  //
+  // where in-flight copies (bounded by the plan's max_delay) are reported
+  // by Network::pending_wire_copies().
+  std::int64_t delivered = 0;      ///< envelopes placed into inboxes
+  std::int64_t dropped = 0;        ///< wire copies lost (faults / crashes)
+  std::int64_t duplicated = 0;     ///< extra copies created by duplication
+  std::int64_t retransmitted = 0;  ///< reliability-sublayer retransmissions
+  std::int64_t filtered = 0;       ///< copies suppressed as duplicates by
+                                   ///< the idempotent-delivery filter
 
   std::int64_t count_of(MsgType type) const {
     const auto idx = static_cast<std::size_t>(type);
@@ -148,11 +169,50 @@ class Network {
   /// inactive.
   void flush_lanes();
 
+  /// Fault injection (DESIGN.md §8). Installs a seeded FaultPlan; from the
+  /// next round on, end_round() consults it when committing staged sends:
+  /// copies may be dropped, duplicated, or delayed, and crashed nodes stop
+  /// sending and receiving. Fault decisions come from a counter-based PRNG
+  /// keyed on (plan seed, wire round, edge, copy id), so the same seed and
+  /// plan reproduce byte-identical inboxes, NetStats, and traces at every
+  /// thread count. Only callable between rounds. Passing a default
+  /// (inactive) plan with no reliability sublayer restores the
+  /// zero-allocation fast path.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+  bool fault_mode() const { return fault_mode_; }
+
+  /// Reliability sublayer: with `retransmit_after` > 0, every protocol
+  /// send becomes a sequenced payload that the network retransmits every
+  /// `retransmit_after` wire rounds until the receiver's ack comes back;
+  /// an idempotent-delivery filter suppresses duplicate arrivals (network
+  /// duplicates and spurious retransmissions whose ack was lost). Each
+  /// end_round() then expands into as many wire rounds as it takes for
+  /// every payload of that protocol round to be delivered (or permanently
+  /// dropped by a crash / the retransmit cap), so protocols keep their
+  /// lockstep semantics and loss costs extra executed rounds, never
+  /// correctness. Inboxes are published in the original send order, so a
+  /// reliable faulty execution steps players exactly like the fault-free
+  /// one. Acks are control-plane: they roll their own loss but are not
+  /// counted in messages/bits. `max_retransmits` bounds the attempts per
+  /// payload (then it counts as dropped) so an unlucky or partitioned
+  /// edge cannot spin forever. Pass 0 to disable. Only callable between
+  /// rounds.
+  void set_reliable_transport(int retransmit_after, int max_retransmits = 64);
+  int retransmit_after() const { return retransmit_after_; }
+
+  /// Wire copies currently in flight inside the fault layer (delayed
+  /// copies and duplicates not yet due). Bounded by plan.max_delay rounds
+  /// of traffic; 0 on the fast path and whenever the ring has drained.
+  std::int64_t pending_wire_copies() const { return pending_copies_; }
+
   /// Messages delivered to v by the most recent end_round(), in send-call
   /// order. The view is invalidated by the next end_round().
   InboxView inbox(NodeId v) const;
 
-  /// True if the most recent end_round() delivered no messages at all.
+  /// True if the most recent end_round() delivered no messages at all —
+  /// under fault injection, a round whose every copy was dropped or
+  /// delayed reads as silent (nothing reached an inbox).
   bool last_round_was_silent() const { return last_round_silent_; }
 
   /// Adds rounds that the paper's schedule allocates but the simulator
@@ -204,6 +264,38 @@ class Network {
     std::vector<PendingSend> staged;
   };
 
+  // ---- Fault-injection state (DESIGN.md §8) ----
+  // A copy on the wire. `ordinal` is the global commit ordinal of the
+  // originating protocol send; inboxes are published sorted by it, so a
+  // reliable faulty execution reads messages in exactly the fault-free
+  // order. `payload_id` >= 0 ties the copy to a reliability payload (or,
+  // with `is_ack`, names the payload being acknowledged); -1 marks a raw
+  // unsequenced copy.
+  struct WireCopy {
+    NodeId from;
+    NodeId to;
+    std::int64_t ordinal;
+    std::int64_t payload_id;
+    bool is_ack;
+    Message msg;
+  };
+  // A sequenced protocol send awaiting its ack (reliability sublayer).
+  struct Payload {
+    NodeId from;
+    NodeId to;
+    std::int64_t ordinal;
+    std::int64_t last_tx;  // wire round of the latest transmission
+    int attempts;          // transmissions so far (1 = initial send only)
+    bool delivered;
+    Message msg;
+  };
+  // An arrival staged for the current protocol round, keyed by the commit
+  // ordinal of its originating send for the publish-time sort.
+  struct StagedArrival {
+    std::int64_t ordinal;
+    Envelope env;
+  };
+
   std::vector<std::vector<NodeId>> adj_;  // sorted neighbour lists
   std::vector<std::size_t> slot_offset_;  // CSR offsets, size n + 1
   std::array<Arena, 2> arenas_;
@@ -233,8 +325,57 @@ class Network {
   std::size_t trace_size_ = 0;
   std::int64_t trace_dropped_ = 0;
 
+  // Fault mode replaces the fixed CSR arenas with growable per-node
+  // inboxes: delays, duplicates, and retransmissions can exceed the
+  // deg(v) slot bound the arenas rely on. f_staging_ accumulates
+  // (arrival) envelopes per receiver over the wire rounds of one protocol
+  // round; publish_fault_round() sorts each by ordinal into f_front_,
+  // which inbox() serves. The ring holds in-flight copies indexed by
+  // due-wire-round modulo its size (sized past max_delay so slots never
+  // collide). Fault mode allocates; the fault-free fast path in
+  // commit_send()/end_round() costs one predicted branch.
+  bool fault_mode_ = false;
+  FaultPlan plan_;
+  std::uint64_t drop_threshold_ = 0;
+  std::uint64_t dup_threshold_ = 0;
+  std::uint64_t delay_threshold_ = 0;
+  // Per-directed-edge drop overrides: sorted (from << 32 | to) -> threshold.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_drop_override_;
+  std::vector<Round> crash_round_;  // per node; empty = no crashes
+  std::vector<std::vector<WireCopy>> ring_;
+  std::vector<std::vector<StagedArrival>> f_staging_;
+  std::vector<std::vector<Envelope>> f_front_;
+  std::vector<NodeId> f_staging_dirty_;
+  std::vector<NodeId> f_front_dirty_;
+  // Sequenced payloads by id; std::map so the retransmit scan iterates in
+  // deterministic id (= send) order.
+  std::map<std::int64_t, Payload> payloads_;
+  std::int64_t next_payload_id_ = 0;
+  std::int64_t commit_ordinal_ = 0;
+  std::int64_t copy_counter_ = 0;
+  std::int64_t pending_copies_ = 0;
+  std::int64_t unresolved_payloads_ = 0;  // born this protocol round, fate open
+  int retransmit_after_ = 0;
+  int max_retransmits_ = 64;
+
   std::size_t edge_slot(NodeId from, NodeId to) const;
   void commit_send(NodeId from, NodeId to, int bits, const Message& msg);
+  void record_trace_event(NodeId from, NodeId to, const Message& msg);
+  bool node_crashed(NodeId v, std::int64_t wire_round) const;
+  std::uint64_t drop_threshold_for(NodeId from, NodeId to) const;
+  void refresh_fault_mode();
+  // Rolls drop/delay/duplicate for one wire copy at the current wire round
+  // and either enqueues it into the ring or counts it dropped.
+  void transmit_copy(NodeId from, NodeId to, std::int64_t ordinal,
+                     std::int64_t payload_id, bool is_ack, bool may_duplicate,
+                     const Message& msg);
+  void fault_commit_send(NodeId from, NodeId to, const Message& msg);
+  // One wire round: retransmit scan, ring-slot drain (deliveries, acks,
+  // duplicate filtering), then the round clock tick and obs hook.
+  void run_wire_round();
+  void deliver_copy(const WireCopy& copy, std::int64_t wire_round);
+  void stage_arrival(NodeId to, std::int64_t ordinal, const Envelope& env);
+  void publish_fault_round();
 };
 
 }  // namespace dasm

@@ -47,6 +47,11 @@ AsmEngine::AsmEngine(const Instance& inst, const AsmParams& params)
     net_.set_send_lanes(threads);
   }
   if (params.net_trace_events > 0) net_.enable_trace(params.net_trace_events);
+  if (params.fault_plan.active()) net_.set_fault_plan(params.fault_plan);
+  if (params.retransmit_after > 0) {
+    net_.set_reliable_transport(params.retransmit_after,
+                                params.max_retransmits);
+  }
   if (rec_.enabled()) {
     // Obs events are staged in per-worker lanes and committed in worker
     // order at every round boundary — the same deterministic-merge

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 
+#include "congest/fault.hpp"
 #include "congest/types.hpp"
 #include "mm/node.hpp"
 
@@ -108,6 +109,24 @@ struct AsmParams {
   /// Exported traces are bit-identical at every `threads` value — see
   /// DESIGN.md §7.
   obs::TraceSink* obs_sink = nullptr;
+
+  /// Fault injection (DESIGN.md §8): when active, the engine installs the
+  /// plan on its Network before round 0, so messages can be dropped,
+  /// duplicated, or delayed. Determinism is preserved — same plan (seed
+  /// included) ⇒ bit-identical results and traces at every `threads`
+  /// value. Without the reliability sublayer below, losses reach the
+  /// protocol and the paper's guarantees no longer apply.
+  FaultPlan fault_plan;
+
+  /// Reliability sublayer (Network::set_reliable_transport): with a value
+  /// k > 0, every send is acked and retransmitted every k wire rounds
+  /// until delivered, so a lossy network costs extra executed rounds, not
+  /// correctness — the run's matching is identical to the fault-free one
+  /// (absent crashes). 0 sends raw over whatever fault_plan describes.
+  int retransmit_after = 0;
+
+  /// Attempt cap per payload under the reliability sublayer.
+  int max_retransmits = 64;
 
   /// With obs_sink set, additionally sample the classic and (2/k)
   /// eps-blocking-pair counts of the current matching at every

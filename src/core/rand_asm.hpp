@@ -33,6 +33,12 @@ struct RandAsmParams {
   /// recorder (src/obs/), passed through to the underlying ASM engine.
   obs::TraceSink* obs_sink = nullptr;
   bool obs_blocking_pairs = false;
+  /// See AsmParams::fault_plan / retransmit_after / max_retransmits:
+  /// fault injection and the reliability sublayer, passed through to the
+  /// underlying ASM engine.
+  FaultPlan fault_plan;
+  int retransmit_after = 0;
+  int max_retransmits = 64;
 };
 
 /// The Corollary-1 iteration budget RandASM gives each maximal-matching

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 #include "mm/node.hpp"
@@ -42,6 +43,12 @@ struct RunConfig {
   /// iteration, and per-round traffic samples. nullptr disables all
   /// recording.
   obs::TraceSink* obs_sink = nullptr;
+  /// Fault injection + reliability sublayer (DESIGN.md §8), applied to
+  /// the runner's Network before round 0 — see AsmParams::fault_plan and
+  /// AsmParams::retransmit_after for semantics.
+  FaultPlan fault_plan;
+  int retransmit_after = 0;
+  int max_retransmits = 64;
 };
 
 struct RunResult {

@@ -36,6 +36,14 @@ void write_event_line(std::ostream& os, const Event& ev) {
 void write_round_line(std::ostream& os, const RoundSample& s) {
   os << "{\"t\":\"r\",\"r\":" << s.round << ",\"m\":" << s.messages
      << ",\"bits\":" << s.bits;
+  // Fault-layer keys appear only when they carry information ("del"
+  // defaults to "m", the rest to 0 on load), so fault-free traces keep
+  // the pre-fault byte format and format version 1.
+  if (s.delivered != s.messages) os << ",\"del\":" << s.delivered;
+  if (s.dropped != 0) os << ",\"drop\":" << s.dropped;
+  if (s.duplicated != 0) os << ",\"dup\":" << s.duplicated;
+  if (s.retransmitted != 0) os << ",\"rtx\":" << s.retransmitted;
+  if (s.filtered != 0) os << ",\"filt\":" << s.filtered;
   bool first = true;
   for (std::size_t i = 0; i < s.messages_by_type.size(); ++i) {
     if (s.messages_by_type[i] == 0) continue;
@@ -291,6 +299,13 @@ void write_chrome_trace(std::ostream& os, const MemorySink& sink) {
         sep();
         os << "{\"ph\":\"C\",\"pid\":0,\"name\":\"traffic\",\"ts\":"
            << s.round * 1000 << ",\"args\":{\"total\":" << s.messages;
+        if (s.delivered != s.messages) os << ",\"delivered\":" << s.delivered;
+        if (s.dropped != 0) os << ",\"dropped\":" << s.dropped;
+        if (s.duplicated != 0) os << ",\"duplicated\":" << s.duplicated;
+        if (s.retransmitted != 0) {
+          os << ",\"retransmitted\":" << s.retransmitted;
+        }
+        if (s.filtered != 0) os << ",\"filtered\":" << s.filtered;
         for (std::size_t i = 0; i < s.messages_by_type.size(); ++i) {
           if (s.messages_by_type[i] == 0) continue;
           os << ",\"" << to_string(static_cast<MsgType>(i))
@@ -369,6 +384,11 @@ bool load_jsonl(std::istream& in, MemorySink* out, std::string* error) {
           !get_int(obj, "bits", &s.bits)) {
         return fail(error, line_no, "malformed round sample");
       }
+      if (!get_int(obj, "del", &s.delivered)) s.delivered = s.messages;
+      get_int(obj, "drop", &s.dropped);
+      get_int(obj, "dup", &s.duplicated);
+      get_int(obj, "rtx", &s.retransmitted);
+      get_int(obj, "filt", &s.filtered);
       if (const Value* by = find(obj, "by"); by != nullptr) {
         if (by->kind != Value::Kind::kObject) {
           return fail(error, line_no, "malformed \"by\" breakdown");

@@ -90,9 +90,16 @@ struct Event {
 /// convergence tables.
 struct RoundSample {
   std::int64_t round = 0;     ///< 1-based executed round id
-  std::int64_t messages = 0;  ///< messages delivered this round
-  std::int64_t bits = 0;      ///< bits delivered this round
+  std::int64_t messages = 0;  ///< messages offered (sent) this round
+  std::int64_t bits = 0;      ///< bits offered this round
   std::array<std::int64_t, 16> messages_by_type{};  ///< delta per MsgType
+  // Fault-layer deltas (NetStats; DESIGN.md §8) — all 0 on a fault-free
+  // network, where delivered == messages implicitly.
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t retransmitted = 0;
+  std::int64_t filtered = 0;
 
   friend bool operator==(const RoundSample&, const RoundSample&) = default;
 };
@@ -213,6 +220,11 @@ class Recorder {
     sample.messages = delta.messages;
     sample.bits = delta.bits;
     sample.messages_by_type = delta.messages_by_type;
+    sample.delivered = delta.delivered;
+    sample.dropped = delta.dropped;
+    sample.duplicated = delta.duplicated;
+    sample.retransmitted = delta.retransmitted;
+    sample.filtered = delta.filtered;
     sink_->on_round_sample(sample);
     last_ = stats;
   }

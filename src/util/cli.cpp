@@ -29,6 +29,13 @@ Cli::Cli(int argc, const char* const* argv) {
 
 bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
 
+std::vector<std::string> Cli::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
 std::string Cli::get(const std::string& name,
                      const std::string& fallback) const {
   auto it = flags_.find(name);

@@ -25,6 +25,11 @@ class Cli {
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
+  /// Names of every flag present on the command line, sorted — lets
+  /// callers reject unknown flags instead of silently ignoring a typo
+  /// (e.g. `--theads 4` running serial).
+  std::vector<std::string> flag_names() const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;

@@ -314,6 +314,59 @@ TEST(NetworkTest, SilentRoundFlag) {
   EXPECT_FALSE(net.last_round_was_silent());
 }
 
+TEST(NetworkTest, FaultFreeAccountingDeliveredEqualsSent) {
+  // On the reliable arena path every committed send is delivered the same
+  // round; the fault-layer counters must reflect that exactly.
+  Network net(triangle());
+  for (int round = 0; round < 3; ++round) {
+    net.begin_round();
+    net.send(0, 1, Message{MsgType::kPropose});
+    net.send(1, 2, Message{MsgType::kAccept});
+    net.end_round();
+  }
+  EXPECT_EQ(net.stats().messages, 6);
+  EXPECT_EQ(net.stats().delivered, 6);
+  EXPECT_EQ(net.stats().dropped, 0);
+  EXPECT_EQ(net.stats().duplicated, 0);
+  EXPECT_EQ(net.stats().retransmitted, 0);
+  EXPECT_EQ(net.stats().filtered, 0);
+  EXPECT_EQ(net.pending_wire_copies(), 0);
+}
+
+TEST(NetworkTest, LossOnlyFaultsConserveSentEqualsDeliveredPlusDropped) {
+  // With loss as the only fault (no duplication, no delay, no
+  // retransmission) and no copies in flight, the conservation law
+  // collapses to: sent == delivered + dropped.
+  Network net(triangle());
+  FaultPlan plan;
+  plan.seed = 12;
+  plan.drop = 0.4;
+  net.set_fault_plan(plan);
+  net.enable_trace(1 << 10);
+  for (int round = 0; round < 100; ++round) {
+    net.begin_round();
+    net.send(0, 1, Message{MsgType::kPropose, round});
+    net.send(1, 0, Message{MsgType::kAccept});
+    net.send(2, 0, Message{MsgType::kReject});
+    net.end_round();
+    // Drops must surface as silence, never as stale inbox contents: an
+    // all-dropped round reads exactly like a round with no traffic.
+    const bool any_delivered =
+        !net.inbox(0).empty() || !net.inbox(1).empty() || !net.inbox(2).empty();
+    EXPECT_EQ(net.last_round_was_silent(), !any_delivered);
+    EXPECT_EQ(net.pending_wire_copies(), 0);  // loss-only: nothing in flight
+    EXPECT_EQ(net.stats().messages, net.stats().delivered + net.stats().dropped)
+        << "round " << round;
+  }
+  EXPECT_EQ(net.stats().messages, 300);
+  EXPECT_GT(net.stats().dropped, 0);
+  EXPECT_GT(net.stats().delivered, 0);
+  // The transmission trace saw every offered message; dropped_trace_events()
+  // stays a ring-eviction counter and is untouched by wire losses.
+  EXPECT_EQ(net.trace().size(), 300u);
+  EXPECT_EQ(net.dropped_trace_events(), 0);
+}
+
 TEST(NetworkTest, RejectsAsymmetricAdjacency) {
   const std::vector<std::vector<NodeId>> asymmetric{{1}, {}};
   EXPECT_THROW((void)Network(asymmetric), CheckError);
@@ -335,6 +388,9 @@ TEST(NetStatsTest, PlusEqualsMergesCounters) {
   a.max_message_bits = 16;
   a.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] = 7;
   a.messages_by_type[static_cast<std::size_t>(MsgType::kReject)] = 3;
+  a.delivered = 8;
+  a.dropped = 2;
+  a.duplicated = 1;
 
   NetStats b;
   b.executed_rounds = 2;
@@ -344,6 +400,10 @@ TEST(NetStatsTest, PlusEqualsMergesCounters) {
   b.max_message_bits = 24;
   b.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] = 1;
   b.messages_by_type[static_cast<std::size_t>(MsgType::kAccept)] = 5;
+  b.delivered = 5;
+  b.dropped = 1;
+  b.retransmitted = 4;
+  b.filtered = 2;
 
   NetStats& ref = (a += b);
   EXPECT_EQ(&ref, &a);  // returns *this for chaining
@@ -355,6 +415,11 @@ TEST(NetStatsTest, PlusEqualsMergesCounters) {
   EXPECT_EQ(a.count_of(MsgType::kPropose), 8);
   EXPECT_EQ(a.count_of(MsgType::kReject), 3);
   EXPECT_EQ(a.count_of(MsgType::kAccept), 5);
+  EXPECT_EQ(a.delivered, 13);  // fault-layer counters merge additively too
+  EXPECT_EQ(a.dropped, 3);
+  EXPECT_EQ(a.duplicated, 1);
+  EXPECT_EQ(a.retransmitted, 4);
+  EXPECT_EQ(a.filtered, 2);
 }
 
 TEST(NetStatsTest, PlusEqualsIdentityAndEquality) {
@@ -420,10 +485,15 @@ TEST(NetStatsTest, DeltaSinceSubtractsCounters) {
   later.messages_by_type[static_cast<std::size_t>(MsgType::kPropose)] += 5;
   later.messages_by_type[static_cast<std::size_t>(MsgType::kAccept)] += 7;
 
+  later.delivered += 9;
+  later.dropped += 3;
+
   const NetStats d = later.delta_since(base);
   EXPECT_EQ(d.executed_rounds, 3);
   EXPECT_EQ(d.scheduled_rounds, 3);
   EXPECT_EQ(d.messages, 12);
+  EXPECT_EQ(d.delivered, 9);
+  EXPECT_EQ(d.dropped, 3);
   EXPECT_EQ(d.bits, 200);
   EXPECT_EQ(d.max_message_bits, 16);  // carries, no windowed inverse
   EXPECT_EQ(d.count_of(MsgType::kPropose), 5);

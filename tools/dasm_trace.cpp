@@ -84,11 +84,21 @@ void print_traffic_summary(const MemorySink& sink, std::ostream& os) {
   if (sink.rounds.empty()) return;
   std::int64_t messages = 0;
   std::int64_t bits = 0;
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t retransmitted = 0;
+  std::int64_t filtered = 0;
   std::array<std::int64_t, 16> by_type{};
   RoundSample busiest;
   for (const RoundSample& r : sink.rounds) {
     messages += r.messages;
     bits += r.bits;
+    delivered += r.delivered;
+    dropped += r.dropped;
+    duplicated += r.duplicated;
+    retransmitted += r.retransmitted;
+    filtered += r.filtered;
     for (std::size_t i = 0; i < by_type.size(); ++i) {
       by_type[i] += r.messages_by_type[i];
     }
@@ -97,6 +107,13 @@ void print_traffic_summary(const MemorySink& sink, std::ostream& os) {
   os << "Rounds sampled: " << sink.rounds.size() << ", messages: " << messages
      << ", bits: " << bits << ", busiest round: " << busiest.round << " ("
      << busiest.messages << " msgs)\n";
+  // Fault-layer rollup (DESIGN.md §8) — only for traces of faulty runs.
+  if (dropped != 0 || duplicated != 0 || retransmitted != 0 ||
+      filtered != 0 || delivered != messages) {
+    os << "Fault layer: delivered " << delivered << ", dropped " << dropped
+       << ", duplicated " << duplicated << ", retransmitted " << retransmitted
+       << ", filtered " << filtered << "\n";
+  }
   Table table({"msg type", "messages", "share"});
   for (std::size_t i = 0; i < by_type.size(); ++i) {
     if (by_type[i] == 0) continue;

@@ -1,0 +1,206 @@
+// A9 — throughput of the matching service layer (src/svc/): a
+// repeated-instance request workload served by MatchService (batched onto
+// the sweep pool, ResultCache on) vs. a naive per-request loop that calls
+// execute_request() directly — no batching, no caching, the obvious
+// baseline a client would write.
+//
+// The workload models the serve-many shape the service is built for: a
+// small corpus of registered instances hit by many requests that mostly
+// repeat a handful of (instance, params) combinations, the way parameter
+// sweeps and replayed experiment scripts do. On such workloads the cache
+// absorbs every repeat, so the service's requests/s should beat the naive
+// loop by at least the workload's repetition factor; the acceptance bar
+// (EXPERIMENTS.md A9) is >= 2x on the default shape.
+//
+// Determinism cross-check: before timing, the service's committed response
+// log is byte-compared against the naive loop's (ids stamped in the same
+// arrival order) — the speedup must not come from computing different
+// answers.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "svc/service.hpp"
+
+namespace dasm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// The repeated-instance workload: `distinct` unique (instance, params)
+// combinations, each requested `repeat` times, arrival order interleaved
+// (combination 0, 1, ..., distinct-1, 0, 1, ...) so cache hits and misses
+// mix within batches instead of separating into phases.
+std::vector<svc::Request> make_workload(int distinct, int repeat,
+                                        int n_instances) {
+  std::vector<svc::Request> combos;
+  for (int c = 0; c < distinct; ++c) {
+    svc::Request r;
+    r.instance = "inst" + std::to_string(c % n_instances);
+    switch (c % 3) {
+      case 0:
+        r.algo = svc::Algo::kAsm;
+        r.epsilon = 0.25 + 0.05 * (c / 3 % 4);
+        break;
+      case 1:
+        r.algo = svc::Algo::kRandAsm;
+        r.epsilon = 0.5;
+        break;
+      default:
+        r.algo = svc::Algo::kMm;
+        r.backend = mm::Backend::kIsraeliItai;
+        break;
+    }
+    r.seed = static_cast<std::uint64_t>(c + 1);
+    combos.push_back(r);
+  }
+  std::vector<svc::Request> workload;
+  workload.reserve(static_cast<std::size_t>(distinct) *
+                   static_cast<std::size_t>(repeat));
+  for (int rep = 0; rep < repeat; ++rep) {
+    for (const svc::Request& r : combos) workload.push_back(r);
+  }
+  return workload;
+}
+
+void register_corpus(svc::MatchService& service, NodeId n, int n_instances) {
+  for (int i = 0; i < n_instances; ++i) {
+    service.instances().add(
+        "inst" + std::to_string(i),
+        gen::complete_uniform(n, static_cast<std::uint64_t>(i + 1)));
+  }
+}
+
+// The baseline: a client that never heard of the service layer. One
+// direct execute_request() call per request, serial, nothing reused.
+std::string run_naive(const svc::InstanceStore& store,
+                      const std::vector<svc::Request>& workload,
+                      double* out_seconds) {
+  std::vector<svc::Response> responses;
+  responses.reserve(workload.size());
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const svc::StoredInstance* inst = store.find(workload[i].instance);
+    DASM_CHECK(inst != nullptr);
+    svc::Response resp = svc::execute_request(*inst, workload[i]);
+    resp.id = static_cast<std::int64_t>(i);
+    responses.push_back(std::move(resp));
+  }
+  *out_seconds = seconds_since(t0);
+  std::ostringstream os;
+  svc::write_responses(os, responses);
+  return os.str();
+}
+
+std::string run_service(svc::MatchService& service,
+                        const std::vector<svc::Request>& workload,
+                        std::size_t batch_size, double* out_seconds) {
+  const auto t0 = Clock::now();
+  std::size_t in_flight = 0;
+  for (const svc::Request& r : workload) {
+    if (service.submit(r) < 0) {
+      service.run_batch();
+      in_flight = 0;
+      DASM_CHECK(service.submit(r) >= 0);
+    }
+    if (++in_flight >= batch_size) {
+      service.run_batch();
+      in_flight = 0;
+    }
+  }
+  service.drain();
+  *out_seconds = seconds_since(t0);
+  std::ostringstream os;
+  service.write_responses(os);
+  return os.str();
+}
+
+int bench_main(int argc, const char* const* argv) {
+  const bench::Options opt =
+      bench::parse_options(argc, argv, {"n", "distinct", "repeat"});
+  const Cli cli(argc, argv);
+  const bool large = bench::large_mode();
+  const NodeId n =
+      static_cast<NodeId>(cli.get_int("n", large ? 96 : 48));
+  const int distinct =
+      static_cast<int>(cli.get_int("distinct", large ? 24 : 12));
+  const int repeat = static_cast<int>(cli.get_int("repeat", large ? 16 : 8));
+  const int n_instances = 3;
+  const std::size_t batch_size = 32;
+
+  bench::print_header(
+      "A9",
+      "service layer: batching + result caching on repeated-instance "
+      "workloads",
+      "MatchService requests/s >= 2x the naive per-request loop");
+
+  std::cout << "workload: " << distinct << " distinct (instance, params) "
+            << "combos x " << repeat << " repeats on " << n_instances
+            << " instances of n=" << n << ", batch size " << batch_size
+            << ", threads " << opt.threads << "\n\n";
+
+  const std::vector<svc::Request> workload =
+      make_workload(distinct, repeat, n_instances);
+
+  svc::SvcConfig config;
+  config.threads = opt.threads;
+  config.queue_capacity = workload.size() + 1;
+  svc::MatchService service(config);
+  register_corpus(service, n, n_instances);
+
+  // Warm-up + correctness: an untimed naive pass pins down the expected
+  // bytes; the timed passes below must reproduce them exactly.
+  double naive_s = 0.0;
+  const std::string expected =
+      run_naive(service.instances(), workload, &naive_s);
+  double service_s = 0.0;
+  const std::string got =
+      run_service(service, workload, batch_size, &service_s);
+  if (got != expected) {
+    bench::print_verdict(false, "service response log != naive loop bytes");
+    return 1;
+  }
+
+  // Second timed naive pass so both sides are measured warm.
+  double naive2_s = 0.0;
+  run_naive(service.instances(), workload, &naive2_s);
+  const double naive_best = std::min(naive_s, naive2_s);
+
+  const double total = static_cast<double>(workload.size());
+  const double naive_rps = total / naive_best;
+  const double svc_rps = total / service_s;
+  const double speedup = svc_rps / naive_rps;
+  const svc::SvcStats stats = service.stats();
+
+  Table table({"mode", "requests", "seconds", "requests/s", "cache hits",
+               "executed"});
+  table.add_row({"naive loop", Table::num(workload.size()),
+                 Table::num(naive_best), Table::num(naive_rps, 1), "-",
+                 Table::num(workload.size())});
+  table.add_row({"service", Table::num(workload.size()),
+                 Table::num(service_s), Table::num(svc_rps, 1),
+                 Table::num(stats.cache_hits),
+                 Table::num(stats.executed_runs)});
+  table.print(std::cout);
+  std::cout << "\nspeedup: " << Table::num(speedup, 2) << "x ("
+            << Table::num(stats.cache_hits) << " of "
+            << Table::num(workload.size())
+            << " requests served from cache)\n\n";
+
+  bench::print_verdict(speedup >= 2.0,
+                       "batching + cache >= 2x naive requests/s");
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dasm
+
+int main(int argc, char** argv) { return dasm::bench_main(argc, argv); }

@@ -40,7 +40,8 @@ if [ "${1:-}" = "--check" ]; then
   # print the rollups, and convert it to Chrome trace-event JSON that a
   # real JSON parser accepts.
   cmake -B build -G Ninja
-  cmake --build build --target bench_e8_eps_blocking dasm_trace
+  cmake --build build --target bench_e8_eps_blocking dasm_trace dasm_cli \
+    bench_a9_service_throughput
   smoke="$(mktemp -d)"
   trap 'rm -rf "$smoke"' EXIT
   build/bench/bench_e8_eps_blocking --trace-out "$smoke/e8.jsonl" >/dev/null
@@ -50,6 +51,30 @@ if [ "${1:-}" = "--check" ]; then
     python3 -m json.tool "$smoke/e8.json" >/dev/null
   fi
   echo "trace smoke OK"
+  # Service smoke: the same request file served at 1 and 4 threads must
+  # produce byte-identical response logs (the svc determinism contract),
+  # and the batch trace must load in dasm-trace.
+  cat > "$smoke/reqs.txt" <<'EOF'
+dasm-requests 1
+instance g gen complete 16 3
+request g asm eps 0.5
+request g asm eps 0.5
+request g mm backend ii
+request g rand-asm seed 2
+EOF
+  build/tools/dasm batch --requests "$smoke/reqs.txt" \
+    --out "$smoke/resp1.txt" --trace-out "$smoke/svc.jsonl" --threads 1 \
+    >/dev/null
+  build/tools/dasm batch --requests "$smoke/reqs.txt" \
+    --out "$smoke/resp4.txt" --threads 4 >/dev/null
+  cmp "$smoke/resp1.txt" "$smoke/resp4.txt"
+  build/tools/dasm-trace "$smoke/svc.jsonl" >/dev/null
+  echo "service smoke OK"
+  # Bench A9 one-cell smoke: the service-vs-naive comparison runs end to
+  # end and the byte-equality cross-check inside it passes.
+  build/bench/bench_a9_service_throughput --n 32 --distinct 3 --repeat 6 \
+    >/dev/null
+  echo "bench_a9 smoke OK"
   exit 0
 fi
 

@@ -16,6 +16,10 @@ const char* to_string(Phase phase) {
       return "mm_phase";
     case Phase::kMmIteration:
       return "mm_iteration";
+    case Phase::kSvcBatch:
+      return "svc_batch";
+    case Phase::kSvcRequest:
+      return "svc_request";
   }
   return "unknown";
 }
@@ -36,6 +40,12 @@ const char* to_string(Counter counter) {
       return "eps_blocking_pairs";
     case Counter::kMmLiveNodes:
       return "mm_live_nodes";
+    case Counter::kSvcCacheHits:
+      return "svc_cache_hits";
+    case Counter::kSvcCacheMisses:
+      return "svc_cache_misses";
+    case Counter::kSvcShed:
+      return "svc_shed";
   }
   return "unknown";
 }

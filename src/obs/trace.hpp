@@ -41,7 +41,9 @@ namespace dasm::obs {
 
 /// Span taxonomy, mirroring the nesting of Algorithms 1–3 (DESIGN.md §7):
 /// kRun ⊃ kOuter ⊃ kInner ⊃ kProposalRound ⊃ kMmPhase ⊃ kMmIteration.
-/// The standalone mm::Runner emits kRun ⊃ kMmIteration.
+/// The standalone mm::Runner emits kRun ⊃ kMmIteration. The matching
+/// service (src/svc/, DESIGN.md §9) emits kSvcBatch ⊃ kSvcRequest, where
+/// "round" is the batch ordinal rather than a network round.
 enum class Phase : std::uint8_t {
   kRun,            ///< one whole protocol execution
   kOuter,          ///< Algorithm 3 outer degree-threshold iteration
@@ -49,8 +51,10 @@ enum class Phase : std::uint8_t {
   kProposalRound,  ///< Algorithm 1 call (one quantile step)
   kMmPhase,        ///< Step-3 maximal-matching subcall
   kMmIteration,    ///< one iteration of the embedded MM protocol
+  kSvcBatch,       ///< one MatchService batch commit
+  kSvcRequest,     ///< one service request, committed in arrival order
 };
-inline constexpr int kPhaseCount = 6;
+inline constexpr int kPhaseCount = 8;
 const char* to_string(Phase phase);
 
 /// Typed scalar samples. The ASM engine emits the first six at every
@@ -65,8 +69,13 @@ enum class Counter : std::uint8_t {
   kBlockingPairs,       ///< classic blocking pairs of the current matching
   kEpsBlockingPairs,    ///< (2/k)-blocking pairs (Definition 2)
   kMmLiveNodes,         ///< non-quiescent nodes of the MM protocol
+  // MatchService counters (src/svc/), sampled cumulatively at every batch
+  // boundary.
+  kSvcCacheHits,    ///< requests served from the ResultCache
+  kSvcCacheMisses,  ///< requests that executed a protocol run
+  kSvcShed,         ///< requests rejected by admission control
 };
-inline constexpr int kCounterCount = 7;
+inline constexpr int kCounterCount = 10;
 const char* to_string(Counter counter);
 
 /// One recorded event. Spans carry the cumulative network message count

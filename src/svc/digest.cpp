@@ -1,0 +1,53 @@
+#include "svc/digest.hpp"
+
+#include "stable/instance.hpp"
+
+namespace dasm::svc {
+
+std::uint64_t digest_instance(const Instance& inst) {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(inst.n_men()));
+  h.mix(static_cast<std::uint64_t>(inst.n_women()));
+  for (NodeId m = 0; m < inst.n_men(); ++m) {
+    const auto& ranked = inst.man_pref(m).ranked();
+    h.mix(static_cast<std::uint64_t>(ranked.size()));
+    for (NodeId w : ranked) h.mix(static_cast<std::uint64_t>(w));
+  }
+  for (NodeId w = 0; w < inst.n_women(); ++w) {
+    const auto& ranked = inst.woman_pref(w).ranked();
+    h.mix(static_cast<std::uint64_t>(ranked.size()));
+    for (NodeId m : ranked) h.mix(static_cast<std::uint64_t>(m));
+  }
+  return h.digest();
+}
+
+void mix_fault_plan(Fnv1a& h, const FaultPlan& plan) {
+  h.mix(plan.seed);
+  h.mix(plan.drop);
+  h.mix(plan.duplicate);
+  h.mix(plan.delay);
+  h.mix(static_cast<std::uint64_t>(plan.max_delay));
+  h.mix(static_cast<std::uint64_t>(plan.edge_drops.size()));
+  for (const EdgeDrop& e : plan.edge_drops) {
+    h.mix(static_cast<std::uint64_t>(e.from));
+    h.mix(static_cast<std::uint64_t>(e.to));
+    h.mix(e.drop);
+  }
+  h.mix(static_cast<std::uint64_t>(plan.crashes.size()));
+  for (const CrashEvent& c : plan.crashes) {
+    h.mix(static_cast<std::uint64_t>(c.round));
+    h.mix(static_cast<std::uint64_t>(c.node));
+  }
+}
+
+std::string to_hex(const CacheKey& key) {
+  const std::uint64_t folded = CacheKeyHash{}(key);
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(folded >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+}  // namespace dasm::svc

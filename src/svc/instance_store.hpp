@@ -1,0 +1,65 @@
+// Sharded instance registry of the matching service (DESIGN.md §9):
+// register an instance once, serve matching requests against it many
+// times.
+//
+// Entries are heap-allocated and never removed, so the pointer a lookup
+// returns stays valid for the store's lifetime — batch planning resolves
+// each request to a `const StoredInstance*` exactly once, and executing
+// cells only ever read through those pointers. Shards are locked
+// individually (name-hash partitioning), so concurrent registrations and
+// lookups only contend when they collide on a shard.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stable/instance.hpp"
+#include "svc/digest.hpp"
+
+namespace dasm::svc {
+
+/// A registered instance plus its precomputed cache-key half.
+struct StoredInstance {
+  StoredInstance(std::string name_, Instance instance_, std::uint64_t digest_)
+      : name(std::move(name_)),
+        instance(std::move(instance_)),
+        digest(digest_) {}
+
+  std::string name;
+  Instance instance;
+  std::uint64_t digest;  ///< digest_instance(instance), fixed at add()
+};
+
+class InstanceStore {
+ public:
+  /// `shards` must be >= 1; the default spreads a service's typical
+  /// corpus thinly enough that registration contention is negligible.
+  explicit InstanceStore(int shards = 8);
+
+  InstanceStore(const InstanceStore&) = delete;
+  InstanceStore& operator=(const InstanceStore&) = delete;
+
+  /// Registers `inst` under `name` (register-once: a duplicate name is a
+  /// CheckError, not a silent overwrite) and returns the stored entry.
+  const StoredInstance& add(std::string name, Instance inst);
+
+  /// The entry registered under `name`, or nullptr.
+  const StoredInstance* find(const std::string& name) const;
+
+  std::int64_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<StoredInstance>> map;
+  };
+
+  Shard& shard_for(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dasm::svc

@@ -1,0 +1,43 @@
+#include "svc/result_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace dasm::svc {
+
+ResultCache::ResultCache(int shards) {
+  DASM_CHECK_MSG(shards >= 1, "result cache needs >= 1 shard");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const CacheKey& key) const {
+  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+bool ResultCache::lookup(const CacheKey& key, Response* out) const {
+  const Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void ResultCache::insert(const CacheKey& key, const Response& response) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, response);
+}
+
+std::int64_t ResultCache::size() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += static_cast<std::int64_t>(shard->map.size());
+  }
+  return total;
+}
+
+}  // namespace dasm::svc

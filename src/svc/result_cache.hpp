@@ -1,0 +1,52 @@
+// Sharded response cache of the matching service (DESIGN.md §9).
+//
+// Keyed on CacheKey = (instance digest, run-parameter digest); the stored
+// payload is a full Response minus the arrival id, so a hit reproduces the
+// cold run's response line byte for byte once the id is stamped back on.
+// Entries never expire — a protocol run is a pure function of its key, so
+// there is nothing to invalidate; memory is bounded by the number of
+// distinct (instance, params) points a workload visits.
+//
+// Shards are locked individually so the driver thread's plan/commit
+// lookups and any concurrent out-of-band users only contend per shard.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/request.hpp"
+
+namespace dasm::svc {
+
+class ResultCache {
+ public:
+  explicit ResultCache(int shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the cached payload for `key` into *out (its `id` is left as
+  /// cached — callers re-stamp it) and returns true, or returns false on
+  /// a miss.
+  bool lookup(const CacheKey& key, Response* out) const;
+
+  /// Inserts the payload for `key`. Re-inserting an existing key keeps
+  /// the first payload (runs are deterministic, so both are identical).
+  void insert(const CacheKey& key, const Response& response);
+
+  std::int64_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, Response, CacheKeyHash> map;
+  };
+
+  Shard& shard_for(const CacheKey& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dasm::svc

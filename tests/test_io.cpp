@@ -64,6 +64,53 @@ TEST(InstanceIo, RejectsGarbage) {
   EXPECT_THROW(load_instance(asymmetric), CheckError);
 }
 
+TEST(InstanceIo, MalformedInputIsDiagnosedNotUb) {
+  // Every corruption below must surface as a CheckError with a message —
+  // never a crash, hang, or silently wrong Instance.
+
+  // Truncated header: the magic line ends before the version token.
+  std::stringstream no_version("dasm-instance");
+  EXPECT_THROW(load_instance(no_version), CheckError);
+  std::stringstream no_counts("dasm-instance 1\nmen 2\n");
+  EXPECT_THROW(load_instance(no_counts), CheckError);
+
+  // Rank out of range: man 0 ranks woman 5 in a 2x2 instance.
+  std::stringstream bad_rank(
+      "dasm-instance 1\nmen 2 women 2\nm 0 : 5\nm 1 : \nw 0 : \nw 1 : \n");
+  EXPECT_THROW(load_instance(bad_rank), CheckError);
+
+  // Duplicate entry in a preference list.
+  std::stringstream dup_rank(
+      "dasm-instance 1\nmen 1 women 2\nm 0 : 0 1 0\n"
+      "w 0 : 0\nw 1 : 0\n");
+  EXPECT_THROW(load_instance(dup_rank), CheckError);
+
+  // Non-integer token where a woman index is expected.
+  std::stringstream non_integer(
+      "dasm-instance 1\nmen 1 women 1\nm 0 : zero\nw 0 : 0\n");
+  EXPECT_THROW(load_instance(non_integer), CheckError);
+}
+
+TEST(MatchingIo, MalformedInputIsDiagnosedNotUb) {
+  const Instance inst = gen::complete_uniform(4, 3);
+
+  // Truncated: header promises two pairs, body has one.
+  std::stringstream truncated("dasm-matching 1\npairs 2\n0 0\n");
+  EXPECT_THROW(load_matching(truncated, inst), CheckError);
+
+  // Duplicate pair: man 0 matched twice.
+  std::stringstream dup_pair("dasm-matching 1\npairs 2\n0 0\n0 1\n");
+  EXPECT_THROW(load_matching(dup_pair, inst), CheckError);
+
+  // Woman matched twice under different men.
+  std::stringstream dup_woman("dasm-matching 1\npairs 2\n0 2\n1 2\n");
+  EXPECT_THROW(load_matching(dup_woman, inst), CheckError);
+
+  // Non-integer token in a pair line.
+  std::stringstream non_integer("dasm-matching 1\npairs 1\nzero 0\n");
+  EXPECT_THROW(load_matching(non_integer, inst), CheckError);
+}
+
 TEST(InstanceIo, FileRoundTrip) {
   const Instance inst = gen::regular_bipartite(8, 3, 5);
   const std::string path = ::testing::TempDir() + "/dasm_io_test.txt";

@@ -6,20 +6,33 @@
 //   dasm run    --algo <name> (--in inst.txt | --family <name> --n <N>)
 //               [--eps E] [--seed S] [--max-rounds R] [--out matching.txt]
 //               [--backend det|ii|rp] [--mimic-gs=true]   (asm only)
+//               [--threads T]                       (asm, rand-asm)
+//               [--drop P] [--fault-seed S] [--retransmit-after K]
+//               [--max-retransmits M]               (asm, rand-asm)
 //   dasm verify --in inst.txt --matching matching.txt [--eps E]
+//   dasm batch  --requests reqs.txt [--out responses.txt] [--threads T]
+//               [--queue N] [--cache=false] [--trace-out trace.jsonl]
 //
 // Algorithms: asm (deterministic, default), rand-asm, almost-regular-asm,
 // gs (centralized), distributed-gs, truncated-gs, broadcast-gs.
 // Families: complete, incomplete, regular, bounded, almost_regular,
 // master, chain.
+//
+// `batch` drives the matching service (src/svc/, DESIGN.md §9): it
+// registers the request file's instances, submits every request with
+// backpressure against the bounded queue, and writes the response log.
+// The log is byte-identical at every --threads value; see the format
+// comment in src/svc/request.hpp.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/almost_regular_asm.hpp"
 #include "core/bounds.hpp"
 #include "core/engine.hpp"
 #include "core/rand_asm.hpp"
 #include "gen/generators.hpp"
+#include "obs/export.hpp"
 #include "stable/blocking.hpp"
 #include "stable/broadcast_gs.hpp"
 #include "stable/distributed_gs.hpp"
@@ -27,6 +40,7 @@
 #include "stable/io.hpp"
 #include "stable/metrics.hpp"
 #include "stable/truncated_gs.hpp"
+#include "svc/service.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -103,6 +117,32 @@ int cmd_info(const Cli& cli) {
   return 0;
 }
 
+// PR-2/PR-6 engine knobs shared by the asm and rand-asm paths: worker
+// threads, a lossy network, and the reliability sublayer. Every value is
+// result-preserving (threads) or deliberately degrading (drop without
+// retransmit) — see AsmParams for semantics.
+struct EngineFlags {
+  int threads = 1;
+  FaultPlan fault_plan;
+  int retransmit_after = 0;
+  int max_retransmits = 64;
+};
+
+EngineFlags parse_engine_flags(const Cli& cli, std::uint64_t default_seed) {
+  EngineFlags flags;
+  flags.threads = static_cast<int>(cli.get_int("threads", 1));
+  flags.fault_plan.drop = cli.get_double("drop", 0.0);
+  flags.fault_plan.seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed",
+                                             static_cast<std::int64_t>(default_seed)));
+  flags.retransmit_after =
+      static_cast<int>(cli.get_int("retransmit-after", 0));
+  flags.max_retransmits =
+      static_cast<int>(cli.get_int("max-retransmits", 64));
+  flags.fault_plan.validate();
+  return flags;
+}
+
 int cmd_run(const Cli& cli) {
   const Instance inst = make_instance(cli);
   const std::string algo = cli.get("algo", "asm");
@@ -111,6 +151,7 @@ int cmd_run(const Cli& cli) {
 
   Matching matching(inst.graph().node_count());
   if (algo == "asm" || algo == "rand-asm") {
+    const EngineFlags engine = parse_engine_flags(cli, seed);
     core::AsmResult r = [&] {
       if (algo == "asm") {
         core::AsmParams params;
@@ -118,6 +159,10 @@ int cmd_run(const Cli& cli) {
         params.seed = seed;
         params.max_rounds = cli.get_int("max-rounds", 0);
         params.per_player_quantiles = cli.get_bool("mimic-gs", false);
+        params.threads = engine.threads;
+        params.fault_plan = engine.fault_plan;
+        params.retransmit_after = engine.retransmit_after;
+        params.max_retransmits = engine.max_retransmits;
         const std::string backend = cli.get("backend", "det");
         if (backend == "ii") {
           params.mm_backend = mm::Backend::kIsraeliItai;
@@ -133,6 +178,10 @@ int cmd_run(const Cli& cli) {
       core::RandAsmParams params;
       params.epsilon = eps;
       params.seed = seed;
+      params.threads = engine.threads;
+      params.fault_plan = engine.fault_plan;
+      params.retransmit_after = engine.retransmit_after;
+      params.max_retransmits = engine.max_retransmits;
       return core::run_rand_asm(inst, params);
     }();
     r.print_summary(std::cout);
@@ -189,6 +238,66 @@ int cmd_run(const Cli& cli) {
   return 0;
 }
 
+int cmd_batch(const Cli& cli) {
+  const std::string requests_path = cli.get("requests", "");
+  DASM_CHECK_MSG(!requests_path.empty(), "batch needs --requests <file>");
+  const svc::RequestFile file = svc::load_requests_file(requests_path);
+  DASM_CHECK_MSG(!file.requests.empty(),
+                 "'" << requests_path << "' contains no requests");
+
+  svc::SvcConfig config;
+  config.threads = static_cast<int>(cli.get_int("threads", 1));
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue", 1024));
+  config.cache_results = cli.get_bool("cache", true);
+  obs::MemorySink sink;
+  const std::string trace_out = cli.get("trace-out", "");
+  if (!trace_out.empty()) config.obs_sink = &sink;
+
+  svc::MatchService service(config);
+  for (const auto& decl : file.instances) {
+    service.instances().add(decl.name,
+                            decl.from_file
+                                ? load_instance_file(decl.path)
+                                : svc::make_declared_instance(decl));
+  }
+  // Submit with backpressure: a full queue triggers a batch, after which
+  // the resubmission is guaranteed to fit.
+  for (const svc::Request& req : file.requests) {
+    if (service.submit(req) < 0) {
+      service.run_batch();
+      DASM_CHECK(service.submit(req) >= 0);
+    }
+  }
+  service.drain();
+
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    service.write_responses(std::cout);
+  } else {
+    std::ofstream os(out);
+    DASM_CHECK_MSG(os.good(), "cannot open '" << out << "'");
+    service.write_responses(os);
+    os.flush();
+    DASM_CHECK_MSG(os.good(), "write to '" << out << "' failed");
+  }
+  if (!trace_out.empty()) obs::write_trace_file(sink, trace_out);
+
+  const svc::SvcStats& stats = service.stats();
+  std::cout << "instances:  " << service.instances().size() << '\n'
+            << "requests:   " << stats.committed << " committed in "
+            << stats.batches << " batch(es)\n"
+            << "cache:      " << stats.cache_hits << " hits, "
+            << stats.cache_misses << " misses ("
+            << stats.executed_runs << " protocol runs), " << stats.shed
+            << " shed\n"
+            << "traffic:    " << stats.messages << " messages over "
+            << stats.rounds << " executed rounds\n";
+  if (!out.empty()) std::cout << "wrote " << out << '\n';
+  if (!trace_out.empty()) std::cout << "wrote trace to " << trace_out << '\n';
+  return 0;
+}
+
 int cmd_verify(const Cli& cli) {
   const Instance inst = make_instance(cli);
   const std::string path = cli.get("matching", "");
@@ -201,7 +310,7 @@ int cmd_verify(const Cli& cli) {
 }
 
 int usage() {
-  std::cerr << "usage: dasm <gen|info|run|verify> [flags]\n"
+  std::cerr << "usage: dasm <gen|info|run|verify|batch> [flags]\n"
             << "  see the header of tools/dasm_main.cpp or README.md\n";
   return 2;
 }
@@ -217,6 +326,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "verify") return cmd_verify(cli);
+    if (cmd == "batch") return cmd_batch(cli);
     return usage();
   } catch (const dasm::CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';

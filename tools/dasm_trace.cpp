@@ -220,6 +220,66 @@ void print_mm_decay(const MemorySink& sink, std::ostream& os) {
   table.print(os);
 }
 
+// Matching-service traces (src/svc/): per-batch request/traffic table plus
+// the final cumulative cache counters. Batches are the kSvcBatch spans;
+// the cache counters are sampled cumulatively at every batch boundary, so
+// the last sample is the service-lifetime total.
+void print_service_summary(const MemorySink& sink, std::ostream& os) {
+  struct BatchRow {
+    std::int64_t index;
+    std::int64_t requests = 0;
+    std::int64_t messages = 0;
+  };
+  std::vector<BatchRow> batches;
+  std::int64_t open_requests = 0;
+  std::optional<std::int64_t> hits, misses, shed;
+  for (const Event& e : sink.events) {
+    switch (e.kind) {
+      case Event::Kind::kBegin:
+        if (e.phase == Phase::kSvcBatch) {
+          batches.push_back(BatchRow{e.index, 0, -e.value});
+          open_requests = 0;
+        }
+        break;
+      case Event::Kind::kEnd:
+        if (e.phase == Phase::kSvcRequest) {
+          ++open_requests;
+        } else if (e.phase == Phase::kSvcBatch && !batches.empty()) {
+          batches.back().requests = open_requests;
+          batches.back().messages += e.value;
+        }
+        break;
+      case Event::Kind::kCounter:
+        if (e.counter == Counter::kSvcCacheHits) hits = e.value;
+        if (e.counter == Counter::kSvcCacheMisses) misses = e.value;
+        if (e.counter == Counter::kSvcShed) shed = e.value;
+        break;
+    }
+  }
+  if (batches.empty()) return;
+  Table table({"batch", "requests", "messages"});
+  for (const BatchRow& b : batches) {
+    table.add_row(
+        {Table::num(b.index), Table::num(b.requests), Table::num(b.messages)});
+  }
+  os << "Service batches:\n";
+  table.print(os);
+  if (hits || misses || shed) {
+    os << "Service cache: " << hits.value_or(0) << " hits, "
+       << misses.value_or(0) << " misses, " << shed.value_or(0)
+       << " shed\n";
+  }
+}
+
+bool has_svc_spans(const MemorySink& sink) {
+  for (const Event& e : sink.events) {
+    if (e.kind == Event::Kind::kBegin && e.phase == Phase::kSvcBatch) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool has_inner_spans(const MemorySink& sink) {
   for (const Event& e : sink.events) {
     if (e.kind == Event::Kind::kBegin && e.phase == Phase::kInner) return true;
@@ -280,7 +340,9 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   print_traffic_summary(sink, std::cout);
   std::cout << "\n";
-  if (has_inner_spans(sink)) {
+  if (has_svc_spans(sink)) {
+    print_service_summary(sink, std::cout);
+  } else if (has_inner_spans(sink)) {
     print_convergence(sink, std::cout);
   } else {
     print_mm_decay(sink, std::cout);

@@ -75,6 +75,16 @@ EOF
   build/bench/bench_a9_service_throughput --n 32 --distinct 3 --repeat 6 \
     >/dev/null
   echo "bench_a9 smoke OK"
+  # Bench A10 smoke: the certifier-throughput bench cross-checks the
+  # flat-arena scans against the map reference (identity DASM_CHECKs and
+  # the >= 3x serial verdict) and its JSON must parse.
+  cmake --build build --target bench_a10_certifier_throughput
+  build/bench/bench_a10_certifier_throughput --n 300 \
+    --json-out "$smoke/a10.json" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$smoke/a10.json" >/dev/null
+  fi
+  echo "bench_a10 smoke OK"
   exit 0
 fi
 

@@ -159,12 +159,16 @@ void AsmEngine::emit_inner_counters() {
   rec_.counter(obs::Counter::kMatchedPairs, round, matched);
   rec_.counter(obs::Counter::kMenWithLiveTargets, round, live_targets);
   if (params_.obs_blocking_pairs) {
+    // Called between rounds from the main thread, so the engine's pool is
+    // idle and the certifier can shard the scan over it; the parallel
+    // counts are bit-identical to the serial ones.
     const Matching m = current_matching();
     rec_.counter(obs::Counter::kBlockingPairs, round,
-                 count_blocking_pairs(*inst_, m));
+                 count_blocking_pairs(*inst_, m, pool_.get()));
     rec_.counter(obs::Counter::kEpsBlockingPairs, round,
                  count_eps_blocking_pairs(
-                     *inst_, m, 2.0 / static_cast<double>(sched_.k)));
+                     *inst_, m, 2.0 / static_cast<double>(sched_.k),
+                     pool_.get()));
   }
 }
 

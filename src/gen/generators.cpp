@@ -24,13 +24,13 @@ Instance from_adjacency(std::vector<std::vector<NodeId>> men_adj,
       women_adj[static_cast<std::size_t>(w)].push_back(m);
     }
   }
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(men_adj.size());
   for (auto& adj : men_adj) {
     rng.shuffle(adj);
     men.emplace_back(std::move(adj));
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(women_adj.size());
   for (auto& adj : women_adj) {
     rng.shuffle(adj);
@@ -149,8 +149,8 @@ Instance master_list(NodeId n, NodeId swaps, std::uint64_t seed) {
     return list;
   };
 
-  std::vector<PreferenceList> men;
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> men;
+  std::vector<Ranking> women;
   men.reserve(static_cast<std::size_t>(n));
   women.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) men.emplace_back(perturb(master_women));
@@ -163,7 +163,7 @@ Instance gs_displacement_chain(NodeId n) {
   // Men 1..n form the chain (man i's list: w_{i-1}, w_i); man 0 is the
   // destabilizer whose single proposal to w_0 evicts man 1 and starts a
   // cascade in which each subsequent sweep displaces exactly one man.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(static_cast<std::size_t>(n) + 1);
   men.emplace_back(std::vector<NodeId>{0});  // destabilizer
   for (NodeId i = 0; i < n; ++i) {
@@ -171,7 +171,7 @@ Instance gs_displacement_chain(NodeId n) {
     if (i + 1 < n) list.push_back(i + 1);
     men.emplace_back(std::move(list));
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(static_cast<std::size_t>(n));
   for (NodeId j = 0; j < n; ++j) {
     // w_j is ranked by chain man j+1 (his first choice) and chain man j
@@ -222,12 +222,12 @@ Instance zipf_popularity(NodeId n, double s, std::uint64_t seed) {
   rng.shuffle(popular_women);
   auto popular_men = identity_permutation(n);
   rng.shuffle(popular_men);
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(static_cast<std::size_t>(n));
   for (NodeId m = 0; m < n; ++m) {
     men.emplace_back(zipf_ranking(n, s, popular_women, rng));
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(static_cast<std::size_t>(n));
   for (NodeId w = 0; w < n; ++w) {
     women.emplace_back(zipf_ranking(n, s, popular_men, rng));
@@ -253,7 +253,7 @@ Instance geometric_knn(NodeId n, NodeId k, std::uint64_t seed) {
     rating[static_cast<std::size_t>(i)] = rng.uniform01();
   }
   std::vector<std::vector<NodeId>> women_cands(static_cast<std::size_t>(n));
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(static_cast<std::size_t>(n));
   for (NodeId m = 0; m < n; ++m) {
     std::vector<std::pair<double, NodeId>> by_dist;
@@ -275,7 +275,7 @@ Instance geometric_knn(NodeId n, NodeId k, std::uint64_t seed) {
     }
     men.emplace_back(std::move(ranked));
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(static_cast<std::size_t>(n));
   for (NodeId w = 0; w < n; ++w) {
     auto cand = women_cands[static_cast<std::size_t>(w)];
@@ -321,7 +321,7 @@ Instance windowed_acquaintance(NodeId n, NodeId window, NodeId long_ties,
     for (const auto& [score, o] : scored) ranked.push_back(o);
     return ranked;
   };
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(static_cast<std::size_t>(n));
   std::vector<std::vector<NodeId>> women_know(static_cast<std::size_t>(n));
   for (NodeId m = 0; m < n; ++m) {
@@ -334,7 +334,7 @@ Instance windowed_acquaintance(NodeId n, NodeId window, NodeId long_ties,
     }
     men.emplace_back(rank_by_affinity(m, std::move(list)));
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(static_cast<std::size_t>(n));
   for (NodeId w = 0; w < n; ++w) {
     women.emplace_back(rank_by_affinity(

@@ -1,5 +1,8 @@
 #include "stable/blocking.hpp"
 
+#include <atomic>
+
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace dasm {
@@ -19,159 +22,397 @@ NodeId partner_of_woman(const Instance& inst, const Matching& matching,
   return p == kNoNode ? kNoNode : inst.graph().man_index(p);
 }
 
-// 1-based rank of `partner` with the unmatched convention P^v(none) = deg+1.
-std::int64_t rank1(const PreferenceList& pref, NodeId partner) {
-  if (partner == kNoNode) return static_cast<std::int64_t>(pref.degree()) + 1;
-  const NodeId r = pref.rank_of(partner);
-  DASM_CHECK(r != kNoNode);
-  return static_cast<std::int64_t>(r) + 1;
-}
+// A woman whose matched partner is missing from her list only throws when
+// a scan actually evaluates her side of the predicate (the serial scans
+// always worked that way); the sentinel defers the CheckError until then.
+constexpr std::int64_t kUnrankedPartner = -1;
 
-// Streams the pairs satisfying `blocks` to `visit` in (man, rank) order —
-// the single scan behind every public entry point, so the materializing,
-// counting, and early-exit forms cannot drift apart. `man_filter` (when
-// non-null) prunes whole men before their preference lists are touched.
-// `visit` returns false to stop the scan.
-template <typename Predicate, typename Visitor>
-void scan_pairs(const Instance& inst, const Matching& matching,
-                const std::vector<bool>* man_filter, Predicate&& blocks,
-                Visitor&& visit) {
+// Shared per-scan state: the 1-based rank every woman gives her current
+// partner (deg + 1 when unmatched, kUnrankedPartner when he is not on her
+// list), computed once so the inner loops are pure array reads.
+struct ScanPlan {
+  const Instance* inst;
+  const Matching* matching;
+  std::vector<std::int64_t> wrank1_pw;
+  bool any_sentinel = false;
+};
+
+ScanPlan make_plan(const Instance& inst, const Matching& matching) {
   DASM_CHECK(matching.node_count() == inst.graph().node_count());
-  for (NodeId m = 0; m < inst.n_men(); ++m) {
-    if (man_filter && !(*man_filter)[static_cast<std::size_t>(m)]) continue;
-    const NodeId pm = partner_of_man(inst, matching, m);
-    for (NodeId w : inst.man_pref(m).ranked()) {
-      if (w == pm) continue;  // matched pairs never block
-      const NodeId pw = partner_of_woman(inst, matching, w);
-      if (blocks(m, pm, w, pw)) {
-        if (!visit(BlockingPair{m, w})) return;
+  ScanPlan plan;
+  plan.inst = &inst;
+  plan.matching = &matching;
+  plan.wrank1_pw.resize(static_cast<std::size_t>(inst.n_women()));
+  for (NodeId w = 0; w < inst.n_women(); ++w) {
+    const PreferenceList& wp = inst.woman_pref(w);
+    const NodeId pw = partner_of_woman(inst, matching, w);
+    std::int64_t r1;
+    if (pw == kNoNode) {
+      r1 = static_cast<std::int64_t>(wp.degree()) + 1;
+    } else {
+      const NodeId r = wp.rank_of(pw);
+      if (r == kNoNode) {
+        r1 = kUnrankedPartner;
+        plan.any_sentinel = true;
+      } else {
+        r1 = static_cast<std::int64_t>(r) + 1;
       }
     }
+    plan.wrank1_pw[static_cast<std::size_t>(w)] = r1;
   }
+  return plan;
 }
 
-// Definition 1 predicate: mutual strict preference over current partners.
-auto classic_predicate(const Instance& inst) {
-  return [&inst](NodeId m, NodeId pm, NodeId w, NodeId pw) {
-    return inst.man_pref(m).prefers_over_partner(w, pm) &&
-           inst.woman_pref(w).prefers_over_partner(m, pw);
-  };
+// Definition 1 pairs of man m, visited in rank order. The man's side of
+// the predicate holds exactly at ranks before his partner's, so only that
+// prefix is scanned; the woman's side compares her O(1) arena rank of m
+// against the precomputed rank of her partner. Returns false iff `visit`
+// stopped the scan.
+template <typename Visitor>
+bool classic_scan_man(const ScanPlan& plan, NodeId m, Visitor&& visit) {
+  const Instance& inst = *plan.inst;
+  const PreferenceList& mp = inst.man_pref(m);
+  const NodeId deg = mp.degree();
+  const NodeId pm = partner_of_man(inst, *plan.matching, m);
+  NodeId bound = deg;
+  if (pm != kNoNode) {
+    const NodeId rpm = mp.rank_of(pm);
+    if (rpm == kNoNode) {
+      DASM_CHECK_MSG(deg == 0, "partner " << pm << " is not ranked");
+      return true;
+    }
+    bound = rpm;
+  }
+  const RankedView ranked = mp.ranked();
+  for (NodeId r = 0; r < bound; ++r) {
+    const NodeId w = ranked[static_cast<std::size_t>(r)];
+    const std::int64_t pw1 = plan.wrank1_pw[static_cast<std::size_t>(w)];
+    DASM_CHECK_MSG(pw1 != kUnrankedPartner,
+                   "woman " << w << " is matched to a partner she does not rank");
+    const std::int64_t wr1m =
+        static_cast<std::int64_t>(inst.woman_pref(w).rank_of(m)) + 1;
+    DASM_DCHECK(wr1m >= 1);  // symmetry: m is always on w's list
+    if (wr1m < pw1) {
+      if (!visit(BlockingPair{m, w})) return false;
+    }
+  }
+  return true;
 }
 
-// Definition 2 predicate: both rank gaps beat eps times the degree.
-auto eps_predicate(const Instance& inst, double eps) {
-  return [&inst, eps](NodeId m, NodeId pm, NodeId w, NodeId pw) {
-    const auto& mp = inst.man_pref(m);
-    const auto& wp = inst.woman_pref(w);
-    const double man_gap = static_cast<double>(rank1(mp, pm) - rank1(mp, w));
-    const double woman_gap = static_cast<double>(rank1(wp, pw) - rank1(wp, m));
-    return man_gap >= eps * static_cast<double>(mp.degree()) &&
-           woman_gap >= eps * static_cast<double>(wp.degree());
-  };
+// Definition 2 pairs of man m, visited in rank order. The man-side gap
+// P^m(p(m)) - P^m(w) strictly decreases in rank while the threshold is
+// constant, so the scan stops at the first rank where it fails — except
+// when some woman's sentinel could fire, where the full list is walked to
+// preserve the serial scan's eager woman-side evaluation (and its throw).
+template <typename Visitor>
+bool eps_scan_man(const ScanPlan& plan, NodeId m, double eps,
+                  Visitor&& visit) {
+  const Instance& inst = *plan.inst;
+  const PreferenceList& mp = inst.man_pref(m);
+  const NodeId deg = mp.degree();
+  if (deg == 0) return true;
+  const NodeId pm = partner_of_man(inst, *plan.matching, m);
+  std::int64_t pm1;
+  if (pm == kNoNode) {
+    pm1 = static_cast<std::int64_t>(deg) + 1;
+  } else {
+    const NodeId rpm = mp.rank_of(pm);
+    DASM_CHECK_MSG(rpm != kNoNode, "partner " << pm << " is not ranked");
+    pm1 = static_cast<std::int64_t>(rpm) + 1;
+  }
+  const double man_thresh = eps * static_cast<double>(deg);
+  const RankedView ranked = mp.ranked();
+  for (NodeId r = 0; r < deg; ++r) {
+    const NodeId w = ranked[static_cast<std::size_t>(r)];
+    if (w == pm) continue;  // matched pairs never block
+    const double man_gap =
+        static_cast<double>(pm1 - (static_cast<std::int64_t>(r) + 1));
+    if (!(man_gap >= man_thresh)) {
+      if (!plan.any_sentinel) break;  // gap only shrinks from here on
+      const std::int64_t pw1 = plan.wrank1_pw[static_cast<std::size_t>(w)];
+      DASM_CHECK_MSG(pw1 != kUnrankedPartner,
+                     "woman " << w
+                              << " is matched to a partner she does not rank");
+      continue;
+    }
+    const PreferenceList& wp = inst.woman_pref(w);
+    const std::int64_t pw1 = plan.wrank1_pw[static_cast<std::size_t>(w)];
+    DASM_CHECK_MSG(pw1 != kUnrankedPartner,
+                   "woman " << w << " is matched to a partner she does not rank");
+    const std::int64_t wr1m = static_cast<std::int64_t>(wp.rank_of(m)) + 1;
+    DASM_DCHECK(wr1m >= 1);
+    const double woman_gap = static_cast<double>(pw1 - wr1m);
+    if (woman_gap >= eps * static_cast<double>(wp.degree())) {
+      if (!visit(BlockingPair{m, w})) return false;
+    }
+  }
+  return true;
 }
 
-template <typename Predicate>
-std::vector<BlockingPair> collect_pairs(const Instance& inst,
-                                        const Matching& matching,
-                                        Predicate&& blocks) {
-  std::vector<BlockingPair> out;
-  scan_pairs(inst, matching, nullptr, blocks, [&out](const BlockingPair& bp) {
-    out.push_back(bp);
-    return true;
+// `scan_man(plan, m, visit)` for the two predicates, so the drivers below
+// are predicate-agnostic.
+struct ClassicScan {
+  template <typename Visitor>
+  bool operator()(const ScanPlan& plan, NodeId m, Visitor&& visit) const {
+    return classic_scan_man(plan, m, visit);
+  }
+};
+
+struct EpsScan {
+  double eps;
+  template <typename Visitor>
+  bool operator()(const ScanPlan& plan, NodeId m, Visitor&& visit) const {
+    return eps_scan_man(plan, m, eps, visit);
+  }
+};
+
+bool selected(const std::vector<bool>* man_filter, NodeId m) {
+  return man_filter == nullptr || (*man_filter)[static_cast<std::size_t>(m)];
+}
+
+// Parallel sharding is only sound (and only helps) on a real multi-worker
+// pool from outside any pool job; everything else falls back to the
+// serial scan.
+bool shard_over(const par::ThreadPool* pool, NodeId n_men) {
+  return pool != nullptr && pool->size() > 1 && n_men > 1 &&
+         !par::ThreadPool::inside_job();
+}
+
+// Static contiguous chunk of worker w — the same split parallel_for uses,
+// so merging per-worker results in worker-index order reproduces man
+// order.
+struct Chunk {
+  NodeId lo;
+  NodeId hi;
+};
+
+Chunk chunk_of(NodeId n, int worker, int workers) {
+  return Chunk{
+      static_cast<NodeId>(static_cast<std::int64_t>(n) * worker / workers),
+      static_cast<NodeId>(static_cast<std::int64_t>(n) * (worker + 1) /
+                          workers)};
+}
+
+template <typename ScanMan>
+std::vector<BlockingPair> collect_pairs(const ScanPlan& plan,
+                                        par::ThreadPool* pool,
+                                        const ScanMan& scan_man) {
+  const NodeId nm = plan.inst->n_men();
+  if (!shard_over(pool, nm)) {
+    std::vector<BlockingPair> out;
+    for (NodeId m = 0; m < nm; ++m) {
+      scan_man(plan, m, [&out](const BlockingPair& bp) {
+        out.push_back(bp);
+        return true;
+      });
+    }
+    return out;
+  }
+  const int workers = pool->size();
+  std::vector<std::vector<BlockingPair>> slots(
+      static_cast<std::size_t>(workers));
+  pool->run_workers([&](int worker) {
+    auto& slot = slots[static_cast<std::size_t>(worker)];
+    const Chunk c = chunk_of(nm, worker, workers);
+    for (NodeId m = c.lo; m < c.hi; ++m) {
+      scan_man(plan, m, [&slot](const BlockingPair& bp) {
+        slot.push_back(bp);
+        return true;
+      });
+    }
   });
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  std::vector<BlockingPair> out;
+  out.reserve(total);
+  for (const auto& slot : slots) out.insert(out.end(), slot.begin(), slot.end());
   return out;
 }
 
-template <typename Predicate>
-std::optional<BlockingPair> first_pair(const Instance& inst,
-                                       const Matching& matching,
-                                       Predicate&& blocks) {
-  std::optional<BlockingPair> found;
-  scan_pairs(inst, matching, nullptr, blocks, [&found](const BlockingPair& bp) {
-    found = bp;
-    return false;
+template <typename ScanMan>
+std::optional<BlockingPair> first_pair(const ScanPlan& plan,
+                                       par::ThreadPool* pool,
+                                       const ScanMan& scan_man) {
+  const NodeId nm = plan.inst->n_men();
+  if (!shard_over(pool, nm)) {
+    std::optional<BlockingPair> found;
+    for (NodeId m = 0; m < nm; ++m) {
+      scan_man(plan, m, [&found](const BlockingPair& bp) {
+        found = bp;
+        return false;
+      });
+      if (found) break;
+    }
+    return found;
+  }
+  const int workers = pool->size();
+  std::vector<std::optional<BlockingPair>> slots(
+      static_cast<std::size_t>(workers));
+  pool->run_workers([&](int worker) {
+    auto& slot = slots[static_cast<std::size_t>(worker)];
+    const Chunk c = chunk_of(nm, worker, workers);
+    for (NodeId m = c.lo; m < c.hi; ++m) {
+      scan_man(plan, m, [&slot](const BlockingPair& bp) {
+        slot = bp;
+        return false;
+      });
+      if (slot) break;  // the chunk's first witness settles this slot
+    }
   });
-  return found;
+  // Chunks ascend in man order, so the first occupied slot holds the
+  // global scan-order-first witness.
+  for (const auto& slot : slots) {
+    if (slot) return slot;
+  }
+  return std::nullopt;
 }
 
-template <typename Predicate>
-std::int64_t count_pairs(const Instance& inst, const Matching& matching,
+template <typename ScanMan>
+std::int64_t count_pairs(const ScanPlan& plan, par::ThreadPool* pool,
                          const std::vector<bool>* man_filter,
-                         Predicate&& blocks) {
-  std::int64_t count = 0;
-  scan_pairs(inst, matching, man_filter, blocks, [&count](const BlockingPair&) {
-    ++count;
-    return true;
+                         const ScanMan& scan_man) {
+  const NodeId nm = plan.inst->n_men();
+  if (!shard_over(pool, nm)) {
+    std::int64_t count = 0;
+    for (NodeId m = 0; m < nm; ++m) {
+      if (!selected(man_filter, m)) continue;
+      scan_man(plan, m, [&count](const BlockingPair&) {
+        ++count;
+        return true;
+      });
+    }
+    return count;
+  }
+  const int workers = pool->size();
+  struct alignas(64) Slot {
+    std::int64_t count = 0;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(workers));
+  pool->run_workers([&](int worker) {
+    std::int64_t local = 0;
+    const Chunk c = chunk_of(nm, worker, workers);
+    for (NodeId m = c.lo; m < c.hi; ++m) {
+      if (!selected(man_filter, m)) continue;
+      scan_man(plan, m, [&local](const BlockingPair&) {
+        ++local;
+        return true;
+      });
+    }
+    slots[static_cast<std::size_t>(worker)].count = local;
   });
+  std::int64_t count = 0;
+  for (const Slot& s : slots) count += s.count;  // integer sum: order-free
   return count;
 }
 
 }  // namespace
 
 std::vector<BlockingPair> blocking_pairs(const Instance& inst,
-                                         const Matching& matching) {
-  return collect_pairs(inst, matching, classic_predicate(inst));
+                                         const Matching& matching,
+                                         par::ThreadPool* pool) {
+  return collect_pairs(make_plan(inst, matching), pool, ClassicScan{});
 }
 
 std::optional<BlockingPair> first_blocking_pair(const Instance& inst,
-                                                const Matching& matching) {
-  return first_pair(inst, matching, classic_predicate(inst));
+                                                const Matching& matching,
+                                                par::ThreadPool* pool) {
+  return first_pair(make_plan(inst, matching), pool, ClassicScan{});
 }
 
 std::int64_t count_blocking_pairs(const Instance& inst,
-                                  const Matching& matching) {
-  return count_pairs(inst, matching, nullptr, classic_predicate(inst));
+                                  const Matching& matching,
+                                  par::ThreadPool* pool) {
+  return count_pairs(make_plan(inst, matching), pool, nullptr, ClassicScan{});
 }
 
-bool is_stable(const Instance& inst, const Matching& matching) {
-  return !first_blocking_pair(inst, matching).has_value();
+bool is_stable(const Instance& inst, const Matching& matching,
+               par::ThreadPool* pool) {
+  return !first_blocking_pair(inst, matching, pool).has_value();
 }
 
 bool is_almost_stable(const Instance& inst, const Matching& matching,
-                      double eps) {
+                      double eps, par::ThreadPool* pool) {
   // Same decision as comparing the full count against eps * |E|: the count
   // only grows during the scan, so the first excess witness settles it.
   const double budget = eps * static_cast<double>(inst.edge_count());
-  std::int64_t count = 0;
-  bool within = true;
-  scan_pairs(inst, matching, nullptr, classic_predicate(inst),
-             [&](const BlockingPair&) {
-               ++count;
-               within = static_cast<double>(count) <= budget;
-               return within;
-             });
-  return within;
+  const ScanPlan plan = make_plan(inst, matching);
+  const NodeId nm = inst.n_men();
+  if (!shard_over(pool, nm)) {
+    std::int64_t count = 0;
+    bool within = true;
+    for (NodeId m = 0; m < nm && within; ++m) {
+      classic_scan_man(plan, m, [&](const BlockingPair&) {
+        ++count;
+        within = static_cast<double>(count) <= budget;
+        return within;
+      });
+    }
+    return within;
+  }
+  // Workers pour per-man subtotals into a shared count and stop once any
+  // prefix of it exceeds the budget; since the count only grows, "some
+  // worker saw an excess" is exactly "the total exceeds the budget", so
+  // the decision matches the serial early-exit bit for bit.
+  const int workers = pool->size();
+  std::atomic<std::int64_t> global{0};
+  std::atomic<bool> exceeded{false};
+  pool->run_workers([&](int worker) {
+    const Chunk c = chunk_of(nm, worker, workers);
+    for (NodeId m = c.lo; m < c.hi; ++m) {
+      if (exceeded.load(std::memory_order_relaxed)) return;
+      std::int64_t mine = 0;
+      classic_scan_man(plan, m, [&mine](const BlockingPair&) {
+        ++mine;
+        return true;
+      });
+      if (mine == 0) continue;
+      const std::int64_t seen =
+          global.fetch_add(mine, std::memory_order_relaxed) + mine;
+      if (static_cast<double>(seen) > budget) {
+        exceeded.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (exceeded.load(std::memory_order_relaxed)) return false;
+  return static_cast<double>(global.load(std::memory_order_relaxed)) <= budget;
 }
 
 std::vector<BlockingPair> eps_blocking_pairs(const Instance& inst,
                                              const Matching& matching,
-                                             double eps) {
-  return collect_pairs(inst, matching, eps_predicate(inst, eps));
+                                             double eps,
+                                             par::ThreadPool* pool) {
+  return collect_pairs(make_plan(inst, matching), pool, EpsScan{eps});
 }
 
 std::optional<BlockingPair> first_eps_blocking_pair(const Instance& inst,
                                                     const Matching& matching,
-                                                    double eps) {
-  return first_pair(inst, matching, eps_predicate(inst, eps));
+                                                    double eps,
+                                                    par::ThreadPool* pool) {
+  return first_pair(make_plan(inst, matching), pool, EpsScan{eps});
 }
 
 std::int64_t count_eps_blocking_pairs(const Instance& inst,
-                                      const Matching& matching, double eps) {
-  return count_pairs(inst, matching, nullptr, eps_predicate(inst, eps));
+                                      const Matching& matching, double eps,
+                                      par::ThreadPool* pool) {
+  return count_pairs(make_plan(inst, matching), pool, nullptr, EpsScan{eps});
 }
 
 std::int64_t count_eps_blocking_pairs_among(
     const Instance& inst, const Matching& matching, double eps,
-    const std::vector<bool>& man_filter) {
+    const std::vector<bool>& man_filter, par::ThreadPool* pool) {
   DASM_CHECK(static_cast<NodeId>(man_filter.size()) == inst.n_men());
-  return count_pairs(inst, matching, &man_filter, eps_predicate(inst, eps));
+  return count_pairs(make_plan(inst, matching), pool, &man_filter,
+                     EpsScan{eps});
 }
 
 std::int64_t count_blocking_pairs_among(const Instance& inst,
                                         const Matching& matching,
-                                        const std::vector<bool>& man_filter) {
+                                        const std::vector<bool>& man_filter,
+                                        par::ThreadPool* pool) {
   DASM_CHECK(static_cast<NodeId>(man_filter.size()) == inst.n_men());
-  return count_pairs(inst, matching, &man_filter, classic_predicate(inst));
+  return count_pairs(make_plan(inst, matching), pool, &man_filter,
+                     ClassicScan{});
 }
 
 std::int64_t validate_matching(const Instance& inst,

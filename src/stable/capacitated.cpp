@@ -8,20 +8,26 @@ namespace dasm {
 
 namespace {
 
+// Arenas take ownership of their rankings; the public CapacitatedInstance
+// struct keeps its own copies, so the arena gets a duplicate.
+std::vector<Ranking> copy_rankings(const std::vector<Ranking>& rankings) {
+  return rankings;
+}
+
 Instance build_expansion(const CapacitatedInstance& cap,
+                         const PrefArena& hospital_arena,
                          const std::vector<NodeId>& seat_hospital,
                          const std::vector<NodeId>& hospital_first) {
   const auto n_residents = static_cast<NodeId>(cap.residents.size());
   const auto n_seats = static_cast<NodeId>(seat_hospital.size());
 
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(cap.residents.size());
   for (NodeId r = 0; r < n_residents; ++r) {
-    std::vector<NodeId> ranked;
-    for (NodeId h : cap.residents[static_cast<std::size_t>(r)].ranked()) {
-      DASM_CHECK_MSG(h < static_cast<NodeId>(cap.hospitals.size()),
-                     "resident " << r << " ranks nonexistent hospital " << h);
-      DASM_CHECK_MSG(cap.hospitals[static_cast<std::size_t>(h)].contains(r),
+    Ranking ranked;
+    // The resident arena already validated h < n_hospitals.
+    for (NodeId h : cap.residents[static_cast<std::size_t>(r)]) {
+      DASM_CHECK_MSG(hospital_arena.list(h).contains(r),
                      "asymmetric capacitated preferences between resident "
                          << r << " and hospital " << h);
       const NodeId first = hospital_first[static_cast<std::size_t>(h)];
@@ -30,15 +36,15 @@ Instance build_expansion(const CapacitatedInstance& cap,
         ranked.push_back(first + c);
       }
     }
-    men.emplace_back(std::move(ranked));
+    men.push_back(std::move(ranked));
   }
 
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(static_cast<std::size_t>(n_seats));
   for (NodeId s = 0; s < n_seats; ++s) {
     const NodeId h = seat_hospital[static_cast<std::size_t>(s)];
     // Every seat of a hospital carries the hospital's list verbatim.
-    women.emplace_back(cap.hospitals[static_cast<std::size_t>(h)].ranked());
+    women.push_back(cap.hospitals[static_cast<std::size_t>(h)]);
   }
   return Instance(std::move(men), std::move(women));
 }
@@ -64,14 +70,18 @@ SeatExpansion::SeatExpansion(CapacitatedInstance capacitated)
         }
         return seats;
       }()),
-      expanded_(build_expansion(capacitated_, seat_hospital_,
+      resident_arena_(copy_rankings(capacitated_.residents),
+                      static_cast<NodeId>(capacitated_.hospitals.size()),
+                      "resident"),
+      hospital_arena_(copy_rankings(capacitated_.hospitals),
+                      static_cast<NodeId>(capacitated_.residents.size()),
+                      "hospital"),
+      expanded_(build_expansion(capacitated_, hospital_arena_, seat_hospital_,
                                 hospital_first_)) {
-  for (std::size_t h = 0; h < capacitated_.hospitals.size(); ++h) {
-    for (NodeId r : capacitated_.hospitals[h].ranked()) {
+  for (NodeId h = 0; h < n_hospitals(); ++h) {
+    for (NodeId r : capacitated_.hospitals[static_cast<std::size_t>(h)]) {
       DASM_CHECK_MSG(
-          r < static_cast<NodeId>(capacitated_.residents.size()) &&
-              capacitated_.residents[static_cast<std::size_t>(r)].contains(
-                  static_cast<NodeId>(h)),
+          resident_arena_.list(r).contains(h),
           "asymmetric capacitated preferences between hospital "
               << h << " and resident " << r);
     }
@@ -116,12 +126,12 @@ std::int64_t SeatExpansion::count_blocking_pairs(
   }
   std::int64_t blocking = 0;
   for (NodeId r = 0; r < n_residents(); ++r) {
-    const auto& rp = capacitated_.residents[static_cast<std::size_t>(r)];
+    const PreferenceList& rp = resident_arena_.list(r);
     const NodeId my_h = assignment[static_cast<std::size_t>(r)];
     for (NodeId h : rp.ranked()) {
       if (h == my_h) continue;
       if (my_h != kNoNode && !rp.prefers(h, my_h)) continue;
-      const auto& hp = capacitated_.hospitals[static_cast<std::size_t>(h)];
+      const PreferenceList& hp = hospital_arena_.list(h);
       const auto& occupants = assigned[static_cast<std::size_t>(h)];
       bool hospital_wants = static_cast<NodeId>(occupants.size()) <
                             capacitated_.capacities[static_cast<std::size_t>(h)];

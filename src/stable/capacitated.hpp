@@ -24,9 +24,9 @@ namespace dasm {
 /// A Hospitals/Residents instance: residents (proposing side) rank
 /// hospitals; hospitals rank residents and have capacities >= 1.
 struct CapacitatedInstance {
-  std::vector<PreferenceList> residents;  ///< entries are hospital indices
-  std::vector<PreferenceList> hospitals;  ///< entries are resident indices
-  std::vector<NodeId> capacities;         ///< parallel to hospitals
+  std::vector<Ranking> residents;  ///< entries are hospital indices
+  std::vector<Ranking> hospitals;  ///< entries are resident indices
+  std::vector<NodeId> capacities;  ///< parallel to hospitals
 };
 
 /// The seat-expanded one-to-one instance plus the bookkeeping needed to
@@ -65,10 +65,14 @@ class SeatExpansion {
  private:
   CapacitatedInstance capacitated_;
   // Note: declaration order is initialization order — the seat maps must
-  // be constructed before n_seats_'s initializer fills them.
+  // be constructed before n_seats_'s initializer fills them, and the rank
+  // arenas (which back the contains/prefers queries on the raw rankings)
+  // before the expansion that validates against them.
   std::vector<NodeId> seat_hospital_;   // seat -> hospital
   std::vector<NodeId> hospital_first_;  // hospital -> first seat index
   NodeId n_seats_ = 0;
+  PrefArena resident_arena_;   // universe = n_hospitals
+  PrefArena hospital_arena_;   // universe = n_residents
   Instance expanded_;
 };
 

@@ -6,26 +6,30 @@
 
 namespace dasm {
 
-Instance::Instance(std::vector<PreferenceList> men,
-                   std::vector<PreferenceList> women)
-    : men_(std::move(men)), women_(std::move(women)) {
-  const NodeId nm = static_cast<NodeId>(men_.size());
-  const NodeId nw = static_cast<NodeId>(women_.size());
-  std::vector<std::vector<NodeId>> men_to_women(men_.size());
+Instance::Instance(std::vector<Ranking> men, std::vector<Ranking> women) {
+  const NodeId nm = static_cast<NodeId>(men.size());
+  const NodeId nw = static_cast<NodeId>(women.size());
+  // The arenas validate ids (non-negative, in range, distinct) while
+  // building the flat layout; symmetry needs both sides and is checked
+  // against the finished arenas below.
+  men_ = PrefArena(std::move(men), nw, "man");
+  women_ = PrefArena(std::move(women), nm, "woman");
+
+  std::vector<std::vector<NodeId>> men_to_women(static_cast<std::size_t>(nm));
   for (NodeId m = 0; m < nm; ++m) {
-    for (NodeId w : men_[static_cast<std::size_t>(m)].ranked()) {
-      DASM_CHECK_MSG(w < nw, "man " << m << " ranks nonexistent woman " << w);
-      DASM_CHECK_MSG(women_[static_cast<std::size_t>(w)].contains(m),
+    const RankedView ranked = men_.list(m).ranked();
+    for (NodeId w : ranked) {
+      DASM_CHECK_MSG(women_.list(w).contains(m),
                      "asymmetric preferences: man " << m << " ranks woman "
                                                     << w << " but not back");
-      men_to_women[static_cast<std::size_t>(m)].push_back(w);
     }
+    men_to_women[static_cast<std::size_t>(m)].assign(ranked.begin(),
+                                                     ranked.end());
   }
   std::int64_t woman_side_edges = 0;
   for (NodeId w = 0; w < nw; ++w) {
-    for (NodeId m : women_[static_cast<std::size_t>(w)].ranked()) {
-      DASM_CHECK_MSG(m < nm, "woman " << w << " ranks nonexistent man " << m);
-      DASM_CHECK_MSG(men_[static_cast<std::size_t>(m)].contains(w),
+    for (NodeId m : women_.list(w).ranked()) {
+      DASM_CHECK_MSG(men_.list(m).contains(w),
                      "asymmetric preferences: woman " << w << " ranks man "
                                                       << m << " but not back");
       ++woman_side_edges;
@@ -35,22 +39,12 @@ Instance::Instance(std::vector<PreferenceList> men,
   DASM_CHECK(graph_->graph().edge_count() == woman_side_edges);
 }
 
-const PreferenceList& Instance::man_pref(NodeId m) const {
-  DASM_CHECK(m >= 0 && m < n_men());
-  return men_[static_cast<std::size_t>(m)];
-}
-
-const PreferenceList& Instance::woman_pref(NodeId w) const {
-  DASM_CHECK(w >= 0 && w < n_women());
-  return women_[static_cast<std::size_t>(w)];
-}
-
 bool Instance::is_complete() const {
-  for (const auto& p : men_) {
-    if (p.degree() != n_women()) return false;
+  for (NodeId m = 0; m < n_men(); ++m) {
+    if (men_.list(m).degree() != n_women()) return false;
   }
-  for (const auto& p : women_) {
-    if (p.degree() != n_men()) return false;
+  for (NodeId w = 0; w < n_women(); ++w) {
+    if (women_.list(w).degree() != n_men()) return false;
   }
   return true;
 }
@@ -59,14 +53,15 @@ double Instance::regularity_alpha() const {
   NodeId lo = 0;
   NodeId hi = 0;
   bool any = false;
-  for (const auto& p : men_) {
-    if (p.degree() == 0) continue;
+  for (NodeId m = 0; m < n_men(); ++m) {
+    const NodeId deg = men_.list(m).degree();
+    if (deg == 0) continue;
     if (!any) {
-      lo = hi = p.degree();
+      lo = hi = deg;
       any = true;
     } else {
-      lo = std::min(lo, p.degree());
-      hi = std::max(hi, p.degree());
+      lo = std::min(lo, deg);
+      hi = std::max(hi, deg);
     }
   }
   if (!any) return 1.0;

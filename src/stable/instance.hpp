@@ -1,5 +1,11 @@
 // A stable-marriage instance: symmetric preference lists for men and
 // women plus the communication graph they induce (§2.1).
+//
+// Since PR 8 the instance owns two PrefArenas (one per side) holding all
+// ranking storage in flat CSR buffers; man_pref/woman_pref hand out
+// non-owning PreferenceList views into them. The instance is move-only
+// for the same reason the arenas are: views point into arena heap
+// buffers, which moves preserve and copies would not.
 #pragma once
 
 #include <memory>
@@ -13,13 +19,18 @@ namespace dasm {
 class Instance {
  public:
   /// Validates symmetry: w appears on m's list iff m appears on w's list.
-  Instance(std::vector<PreferenceList> men, std::vector<PreferenceList> women);
+  Instance(std::vector<Ranking> men, std::vector<Ranking> women);
 
-  NodeId n_men() const { return static_cast<NodeId>(men_.size()); }
-  NodeId n_women() const { return static_cast<NodeId>(women_.size()); }
+  NodeId n_men() const { return men_.size(); }
+  NodeId n_women() const { return women_.size(); }
 
-  const PreferenceList& man_pref(NodeId m) const;
-  const PreferenceList& woman_pref(NodeId w) const;
+  const PreferenceList& man_pref(NodeId m) const { return men_.list(m); }
+  const PreferenceList& woman_pref(NodeId w) const { return women_.list(w); }
+
+  /// Side-wide flat ranking storage; the svc digest and the certifier
+  /// stream these directly instead of re-walking lists.
+  const PrefArena& men_arena() const { return men_; }
+  const PrefArena& women_arena() const { return women_; }
 
   /// Communication graph; man i has node id i, woman j id n_men + j.
   const BipartiteGraph& graph() const { return *graph_; }
@@ -35,8 +46,8 @@ class Instance {
   double regularity_alpha() const;
 
  private:
-  std::vector<PreferenceList> men_;
-  std::vector<PreferenceList> women_;
+  PrefArena men_;
+  PrefArena women_;
   std::unique_ptr<BipartiteGraph> graph_;
 };
 

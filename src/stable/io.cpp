@@ -1,6 +1,9 @@
 #include "stable/io.hpp"
 
+#include <charconv>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -16,14 +19,30 @@ std::string next_token(std::istream& is, const char* what) {
   return tok;
 }
 
+// Strict decimal parse of a whole token into NodeId. Unlike std::stol this
+// rejects trailing garbage ("12x34" is not 12), never throws on its own,
+// and catches values that fit a long but not a NodeId ("4294967296" used
+// to truncate to 0 silently).
+bool parse_id(const std::string& tok, NodeId* out) {
+  std::int64_t value = 0;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return false;
+  if (value < static_cast<std::int64_t>(kNoNode) ||
+      value > static_cast<std::int64_t>(std::numeric_limits<NodeId>::max())) {
+    return false;
+  }
+  *out = static_cast<NodeId>(value);
+  return true;
+}
+
 NodeId next_id(std::istream& is, const char* what) {
   const std::string tok = next_token(is, what);
-  try {
-    return static_cast<NodeId>(std::stol(tok));
-  } catch (const std::exception&) {
-    DASM_CHECK_MSG(false, "expected " << what << ", got '" << tok << "'");
-  }
-  return kNoNode;  // unreachable
+  NodeId id = kNoNode;
+  DASM_CHECK_MSG(parse_id(tok, &id),
+                 "expected " << what << ", got '" << tok << "'");
+  return id;
 }
 
 void expect_token(std::istream& is, const std::string& expected) {
@@ -32,19 +51,19 @@ void expect_token(std::istream& is, const std::string& expected) {
                  "expected '" << expected << "', got '" << tok << "'");
 }
 
-// Reads ranked partner ids up to end-of-line.
-std::vector<NodeId> read_ranking_line(std::istream& is) {
+// Reads ranked partner ids up to end-of-line. Malformed tokens become load
+// diagnostics (CheckError) naming the token, not uncaught std::stol throws
+// or silent truncations.
+Ranking read_ranking_line(std::istream& is) {
   std::string line;
   std::getline(is, line);
   std::istringstream ls(line);
-  std::vector<NodeId> ranked;
+  Ranking ranked;
   std::string tok;
   while (ls >> tok) {
-    try {
-      ranked.push_back(static_cast<NodeId>(std::stol(tok)));
-    } catch (const std::exception&) {
-      DASM_CHECK_MSG(false, "bad partner id '" << tok << "'");
-    }
+    NodeId id = kNoNode;
+    DASM_CHECK_MSG(parse_id(tok, &id), "bad partner id '" << tok << "'");
+    ranked.push_back(id);
   }
   return ranked;
 }
@@ -83,7 +102,7 @@ Instance load_instance(std::istream& is) {
   DASM_CHECK_MSG(n_men >= 0 && n_women >= 0, "negative side size");
 
   auto read_side = [&](char tag, NodeId count) {
-    std::vector<PreferenceList> lists;
+    std::vector<Ranking> lists;
     lists.reserve(static_cast<std::size_t>(count));
     for (NodeId i = 0; i < count; ++i) {
       const std::string t = next_token(is, "side tag");
@@ -94,7 +113,7 @@ Instance load_instance(std::istream& is) {
                                                                  << ", got "
                                                                  << idx);
       expect_token(is, ":");
-      lists.emplace_back(read_ranking_line(is));
+      lists.push_back(read_ranking_line(is));
     }
     return lists;
   };
@@ -148,15 +167,17 @@ Matching load_matching(std::istream& is, const Instance& inst) {
 }
 
 Instance transpose(const Instance& inst) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.reserve(static_cast<std::size_t>(inst.n_women()));
   for (NodeId w = 0; w < inst.n_women(); ++w) {
-    men.push_back(inst.woman_pref(w));
+    const auto r = inst.woman_pref(w).ranked();
+    men.emplace_back(r.begin(), r.end());
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.reserve(static_cast<std::size_t>(inst.n_men()));
   for (NodeId m = 0; m < inst.n_men(); ++m) {
-    women.push_back(inst.man_pref(m));
+    const auto r = inst.man_pref(m).ranked();
+    women.emplace_back(r.begin(), r.end());
   }
   return Instance(std::move(men), std::move(women));
 }

@@ -1,68 +1,107 @@
 #include "stable/preferences.hpp"
 
-#include "util/check.hpp"
+#include <algorithm>
 
 namespace dasm {
-
-PreferenceList::PreferenceList(std::vector<NodeId> ranked)
-    : ranked_(std::move(ranked)) {
-  rank_.reserve(ranked_.size());
-  for (std::size_t r = 0; r < ranked_.size(); ++r) {
-    const NodeId u = ranked_[r];
-    DASM_CHECK_MSG(u >= 0, "negative partner id " << u);
-    const bool inserted =
-        rank_.emplace(u, static_cast<NodeId>(r)).second;
-    DASM_CHECK_MSG(inserted, "partner " << u << " ranked twice");
-  }
-}
-
-NodeId PreferenceList::at_rank(NodeId r) const {
-  DASM_CHECK(r >= 0 && r < degree());
-  return ranked_[static_cast<std::size_t>(r)];
-}
-
-NodeId PreferenceList::rank_of(NodeId partner) const {
-  const auto it = rank_.find(partner);
-  return it == rank_.end() ? kNoNode : it->second;
-}
-
-bool PreferenceList::prefers(NodeId a, NodeId b) const {
-  const NodeId ra = rank_of(a);
-  const NodeId rb = rank_of(b);
-  DASM_CHECK_MSG(ra != kNoNode, "partner " << a << " is not ranked");
-  DASM_CHECK_MSG(rb != kNoNode, "partner " << b << " is not ranked");
-  return ra < rb;
-}
-
-bool PreferenceList::prefers_over_partner(NodeId a, NodeId b) const {
-  const NodeId ra = rank_of(a);
-  DASM_CHECK_MSG(ra != kNoNode, "partner " << a << " is not ranked");
-  if (b == kNoNode) return true;
-  const NodeId rb = rank_of(b);
-  DASM_CHECK_MSG(rb != kNoNode, "partner " << b << " is not ranked");
-  return ra < rb;
-}
-
-NodeId PreferenceList::quantile_of(NodeId partner, NodeId k) const {
-  DASM_CHECK(k >= 1);
-  const NodeId r = rank_of(partner);
-  DASM_CHECK_MSG(r != kNoNode, "partner " << partner << " is not ranked");
-  const auto d = static_cast<std::int64_t>(degree());
-  const auto q =
-      static_cast<NodeId>((static_cast<std::int64_t>(r) * k) / d + 1);
-  DASM_DCHECK(q >= 1 && q <= k);
-  return q;
-}
 
 std::vector<NodeId> PreferenceList::quantile_members(NodeId q, NodeId k) const {
   DASM_CHECK(k >= 1);
   DASM_CHECK(q >= 1 && q <= k);
-  std::vector<NodeId> out;
-  for (NodeId r = 0; r < degree(); ++r) {
-    const NodeId u = ranked_[static_cast<std::size_t>(r)];
-    if (quantile_of(u, k) == q) out.push_back(u);
+  const auto d = static_cast<std::int64_t>(degree_);
+  const auto kk = static_cast<std::int64_t>(k);
+  // quantile_of(u, k) == q  <=>  (q-1) <= rank(u)*k/d < q, i.e. rank in
+  // [ceil((q-1)d/k), ceil(qd/k)).
+  const auto lo = (static_cast<std::int64_t>(q - 1) * d + kk - 1) / kk;
+  const auto hi = (static_cast<std::int64_t>(q) * d + kk - 1) / kk;
+  return std::vector<NodeId>(ranked_ + lo, ranked_ + hi);
+}
+
+namespace {
+
+// Dense inverse rows cost `universe` entries per list; worth it once the
+// list ranks at least a quarter of the opposite side.
+bool use_dense_row(std::int64_t degree, std::int64_t universe) {
+  return universe > 0 && degree * 4 >= universe;
+}
+
+}  // namespace
+
+PrefArena::PrefArena(std::vector<Ranking> rankings, NodeId universe,
+                     const char* role)
+    : universe_(universe) {
+  DASM_CHECK(universe >= 0);
+  const std::size_t n = rankings.size();
+  lists_.resize(n);
+  offsets_.resize(n + 1);
+
+  std::int64_t total = 0;
+  std::int64_t dense_total = 0;
+  std::int64_t sparse_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i] = total;
+    const auto deg = static_cast<std::int64_t>(rankings[i].size());
+    total += deg;
+    if (use_dense_row(deg, universe)) {
+      dense_total += universe;
+    } else {
+      sparse_total += deg;
+    }
   }
-  return out;
+  offsets_[n] = total;
+
+  // Size everything up front: views point into these buffers, so they
+  // must never reallocate after this.
+  flat_.resize(static_cast<std::size_t>(total));
+  inv_dense_.assign(static_cast<std::size_t>(dense_total), kNoNode);
+  inv_sparse_.resize(static_cast<std::size_t>(sparse_total));
+
+  std::int64_t dense_at = 0;
+  std::int64_t sparse_at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ranking& ranking = rankings[i];
+    const auto deg = static_cast<NodeId>(ranking.size());
+    NodeId* slice = flat_.data() + offsets_[i];
+    std::copy(ranking.begin(), ranking.end(), slice);
+
+    PreferenceList& list = lists_[i];
+    list.ranked_ = slice;
+    list.degree_ = deg;
+    list.universe_ = universe;
+
+    if (use_dense_row(deg, universe)) {
+      NodeId* row = inv_dense_.data() + dense_at;
+      dense_at += universe;
+      for (NodeId r = 0; r < deg; ++r) {
+        const NodeId u = slice[r];
+        DASM_CHECK_MSG(u >= 0, "negative partner id " << u);
+        DASM_CHECK_MSG(u < universe, role << " " << i
+                                          << " ranks out-of-range partner "
+                                          << u);
+        DASM_CHECK_MSG(row[u] == kNoNode, "partner " << u << " ranked twice");
+        row[u] = r;
+      }
+      list.inv_ = row;
+    } else {
+      RankEntry* row = inv_sparse_.data() + sparse_at;
+      sparse_at += deg;
+      for (NodeId r = 0; r < deg; ++r) {
+        const NodeId u = slice[r];
+        DASM_CHECK_MSG(u >= 0, "negative partner id " << u);
+        DASM_CHECK_MSG(u < universe, role << " " << i
+                                          << " ranks out-of-range partner "
+                                          << u);
+        row[r] = RankEntry{u, r};
+      }
+      std::sort(row, row + deg, [](const RankEntry& a, const RankEntry& b) {
+        return a.partner < b.partner;
+      });
+      for (NodeId r = 1; r < deg; ++r) {
+        DASM_CHECK_MSG(row[r - 1].partner != row[r].partner,
+                       "partner " << row[r].partner << " ranked twice");
+      }
+      list.sparse_ = row;
+    }
+  }
 }
 
 }  // namespace dasm

@@ -1,8 +1,24 @@
-// Preference lists and their quantization (§2.1, §3.1).
+// Preference lists and their quantization (§2.1, §3.1), stored in flat
+// instance-owned rank arenas.
 //
 // A PreferenceList is a strict ranking over a subset of the opposite side,
 // identified by 0-based opposite-side indices. Ranks are 0-based
 // internally; the paper's 1-based rank P^v(u) is rank_of(u) + 1.
+//
+// Since PR 8 a PreferenceList is a non-owning *view* into a PrefArena, the
+// side-wide owner of all ranking storage:
+//
+//   - `ranked` arrays of every list on one side are concatenated CSR-style
+//     into one flat buffer (offsets give each list its slice);
+//   - each list additionally carries an inverse-rank index so rank_of /
+//     prefers / quantile_of are O(1) array reads instead of hash lookups:
+//     a dense row (partner -> rank, kNoNode elsewhere) when the list ranks
+//     a quarter or more of the opposite side, or a compact sorted
+//     (partner, rank) pair array binary-searched otherwise.
+//
+// The arena is movable (views hold pointers into heap buffers, which moves
+// preserve) but deliberately non-copyable — copying would leave the copied
+// views dangling into the source.
 //
 // Quantization (§3.1): for k quantiles, partner u of a player with degree
 // d falls in quantile q(u) = floor(rank_of(u) * k / d) + 1 in {1, ..., k} —
@@ -11,51 +27,186 @@
 // ProposalRound degenerates to classical Gale–Shapley (§3.2).
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "congest/types.hpp"
+#include "util/check.hpp"
 
 namespace dasm {
 
+/// A raw ranking: acceptable partners, most preferred first. The
+/// construction currency of instances and arenas.
+using Ranking = std::vector<NodeId>;
+
+/// Sparse inverse-rank entry: `partner` sits at 0-based `rank`. Arena rows
+/// are sorted by partner for binary search.
+struct RankEntry {
+  NodeId partner;
+  NodeId rank;
+};
+
+/// Lightweight view over one list's slice of the flat `ranked` buffer.
+/// Comparable against other views and against std::vector<NodeId>, which
+/// keeps call sites that used to compare owned vectors working unchanged.
+class RankedView {
+ public:
+  RankedView() = default;
+  RankedView(const NodeId* data, std::size_t size) : data_(data), size_(size) {}
+
+  const NodeId* begin() const { return data_; }
+  const NodeId* end() const { return data_ + size_; }
+  const NodeId* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](std::size_t i) const { return data_[i]; }
+
+  friend bool operator==(const RankedView& a, const RankedView& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const RankedView& a, const std::vector<NodeId>& b) {
+    return a == RankedView(b.data(), b.size());
+  }
+
+ private:
+  const NodeId* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class PreferenceList {
  public:
+  /// An empty view: degree 0, every partner unranked.
   PreferenceList() = default;
 
-  /// `ranked` lists acceptable partners, most preferred first; entries
-  /// must be distinct and non-negative.
-  explicit PreferenceList(std::vector<NodeId> ranked);
-
-  NodeId degree() const { return static_cast<NodeId>(ranked_.size()); }
-  bool empty() const { return ranked_.empty(); }
+  NodeId degree() const { return degree_; }
+  bool empty() const { return degree_ == 0; }
 
   /// Partner at 0-based rank r (0 = most preferred).
-  NodeId at_rank(NodeId r) const;
+  NodeId at_rank(NodeId r) const {
+    DASM_CHECK(r >= 0 && r < degree_);
+    return ranked_[r];
+  }
 
-  /// 0-based rank of `partner`, or kNoNode if unranked.
-  NodeId rank_of(NodeId partner) const;
+  /// 0-based rank of `partner`, or kNoNode if unranked. O(1) for dense
+  /// lists, O(log degree) for the sparse fallback.
+  NodeId rank_of(NodeId partner) const {
+    if (inv_ != nullptr) {
+      if (partner < 0 || partner >= universe_) return kNoNode;
+      return inv_[partner];
+    }
+    if (degree_ == 0) return kNoNode;
+    // Branch-light lower_bound over the sorted (partner, rank) pairs.
+    const RankEntry* base = sparse_;
+    NodeId len = degree_;
+    while (len > 1) {
+      const NodeId half = len / 2;
+      base += (base[half - 1].partner < partner) ? half : 0;
+      len -= half;
+    }
+    return base->partner == partner ? base->rank : kNoNode;
+  }
 
   bool contains(NodeId partner) const { return rank_of(partner) != kNoNode; }
 
   /// True iff `a` is strictly preferred to `b`; both must be ranked.
-  bool prefers(NodeId a, NodeId b) const;
+  bool prefers(NodeId a, NodeId b) const {
+    const NodeId ra = rank_of(a);
+    const NodeId rb = rank_of(b);
+    DASM_CHECK_MSG(ra != kNoNode, "partner " << a << " is not ranked");
+    DASM_CHECK_MSG(rb != kNoNode, "partner " << b << " is not ranked");
+    return ra < rb;
+  }
 
   /// True iff `a` is strictly preferred to the current partner `b`, where
   /// b == kNoNode means unmatched and every acceptable partner is
   /// preferred to being unmatched (§2.1 convention).
-  bool prefers_over_partner(NodeId a, NodeId b) const;
+  bool prefers_over_partner(NodeId a, NodeId b) const {
+    const NodeId ra = rank_of(a);
+    DASM_CHECK_MSG(ra != kNoNode, "partner " << a << " is not ranked");
+    if (b == kNoNode) return true;
+    const NodeId rb = rank_of(b);
+    DASM_CHECK_MSG(rb != kNoNode, "partner " << b << " is not ranked");
+    return ra < rb;
+  }
 
   /// 1-based quantile of `partner` among k quantiles (see file comment).
-  NodeId quantile_of(NodeId partner, NodeId k) const;
+  NodeId quantile_of(NodeId partner, NodeId k) const {
+    DASM_CHECK(k >= 1);
+    const NodeId r = rank_of(partner);
+    DASM_CHECK_MSG(r != kNoNode, "partner " << partner << " is not ranked");
+    const auto q = static_cast<NodeId>(
+        (static_cast<std::int64_t>(r) * k) / static_cast<std::int64_t>(degree_) + 1);
+    DASM_DCHECK(q >= 1 && q <= k);
+    return q;
+  }
 
-  /// Partners in 1-based quantile q of k.
+  /// Partners in 1-based quantile q of k. Quantile members occupy one
+  /// contiguous rank block [ceil((q-1)d/k), ceil(qd/k)), so this is a
+  /// direct slice copy — O(|members|), no per-member rank lookups.
   std::vector<NodeId> quantile_members(NodeId q, NodeId k) const;
 
-  const std::vector<NodeId>& ranked() const { return ranked_; }
+  RankedView ranked() const {
+    return RankedView(ranked_, static_cast<std::size_t>(degree_));
+  }
 
  private:
-  std::vector<NodeId> ranked_;
-  std::unordered_map<NodeId, NodeId> rank_;
+  friend class PrefArena;
+
+  const NodeId* ranked_ = nullptr;      // this list's slice of the flat buffer
+  NodeId degree_ = 0;
+  NodeId universe_ = 0;                 // opposite-side size (dense row width)
+  const NodeId* inv_ = nullptr;         // dense inverse row, or nullptr
+  const RankEntry* sparse_ = nullptr;   // sorted sparse row, or nullptr
+};
+
+/// Instance-owned storage for one side's preference lists: the flat CSR
+/// `ranked` concatenation plus per-list inverse-rank rows (dense or sparse;
+/// see file comment). Hands out stable PreferenceList views.
+class PrefArena {
+ public:
+  PrefArena() = default;
+
+  /// `universe` is the opposite-side size: every ranked id must lie in
+  /// [0, universe). Validates non-negativity, range, and distinctness.
+  /// `role` names the owning side in diagnostics ("man", "hospital", ...).
+  PrefArena(std::vector<Ranking> rankings, NodeId universe,
+            const char* role = "player");
+
+  // Views hold raw pointers into the heap buffers below; moving the
+  // vectors preserves those buffers, copying would not.
+  PrefArena(PrefArena&&) noexcept = default;
+  PrefArena& operator=(PrefArena&&) noexcept = default;
+  PrefArena(const PrefArena&) = delete;
+  PrefArena& operator=(const PrefArena&) = delete;
+
+  NodeId size() const { return static_cast<NodeId>(lists_.size()); }
+  NodeId universe() const { return universe_; }
+
+  const PreferenceList& list(NodeId i) const {
+    DASM_CHECK(i >= 0 && i < size());
+    return lists_[static_cast<std::size_t>(i)];
+  }
+
+  /// Flat concatenation of every list's `ranked` array; list i owns
+  /// [offsets()[i], offsets()[i+1]). The svc digest streams this directly.
+  const std::vector<NodeId>& flat() const { return flat_; }
+  const std::vector<std::int64_t>& offsets() const { return offsets_; }
+
+  std::int64_t total_degree() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+ private:
+  std::vector<NodeId> flat_;            // CSR ranked concatenation
+  std::vector<std::int64_t> offsets_;   // size() + 1 entries
+  std::vector<NodeId> inv_dense_;       // concatenated dense inverse rows
+  std::vector<RankEntry> inv_sparse_;   // concatenated sparse inverse rows
+  std::vector<PreferenceList> lists_;
+  NodeId universe_ = 0;
 };
 
 }  // namespace dasm

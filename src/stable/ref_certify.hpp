@@ -1,0 +1,273 @@
+// Reference certifier: the pre-arena representation (per-list
+// std::unordered_map inverse ranks) and the full-list serial scan, kept as
+// an executable specification. test_certify cross-checks the flat-arena
+// fast paths against it on random instances, and bench_a10 uses it as the
+// before side of the before/after throughput comparison. Header-only and
+// deliberately unoptimized — do not use outside tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stable/blocking.hpp"
+#include "stable/instance.hpp"
+#include "stable/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dasm::ref {
+
+/// The old owning PreferenceList: ranked vector + hash-map inverse.
+class RefPreferenceList {
+ public:
+  RefPreferenceList() = default;
+  explicit RefPreferenceList(std::vector<NodeId> ranked)
+      : ranked_(std::move(ranked)) {
+    rank_.reserve(ranked_.size());
+    for (std::size_t r = 0; r < ranked_.size(); ++r) {
+      rank_.emplace(ranked_[r], static_cast<NodeId>(r));
+    }
+  }
+
+  NodeId degree() const { return static_cast<NodeId>(ranked_.size()); }
+
+  NodeId rank_of(NodeId partner) const {
+    const auto it = rank_.find(partner);
+    return it == rank_.end() ? kNoNode : it->second;
+  }
+
+  bool prefers(NodeId a, NodeId b) const {
+    const NodeId ra = rank_of(a);
+    const NodeId rb = rank_of(b);
+    DASM_CHECK(ra != kNoNode && rb != kNoNode);
+    return ra < rb;
+  }
+
+  bool prefers_over_partner(NodeId a, NodeId b) const {
+    const NodeId ra = rank_of(a);
+    DASM_CHECK(ra != kNoNode);
+    if (b == kNoNode) return true;
+    const NodeId rb = rank_of(b);
+    DASM_CHECK(rb != kNoNode);
+    return ra < rb;
+  }
+
+  NodeId quantile_of(NodeId partner, NodeId k) const {
+    DASM_CHECK(k >= 1);
+    const NodeId r = rank_of(partner);
+    DASM_CHECK(r != kNoNode);
+    return static_cast<NodeId>((static_cast<std::int64_t>(r) * k) /
+                                   static_cast<std::int64_t>(degree()) +
+                               1);
+  }
+
+  const std::vector<NodeId>& ranked() const { return ranked_; }
+
+ private:
+  std::vector<NodeId> ranked_;
+  std::unordered_map<NodeId, NodeId> rank_;
+};
+
+/// Map-based shadow of an Instance's preference lists.
+struct RefInstance {
+  const Instance* inst;
+  std::vector<RefPreferenceList> men;
+  std::vector<RefPreferenceList> women;
+
+  explicit RefInstance(const Instance& instance) : inst(&instance) {
+    men.reserve(static_cast<std::size_t>(instance.n_men()));
+    for (NodeId m = 0; m < instance.n_men(); ++m) {
+      const auto r = instance.man_pref(m).ranked();
+      men.emplace_back(std::vector<NodeId>(r.begin(), r.end()));
+    }
+    women.reserve(static_cast<std::size_t>(instance.n_women()));
+    for (NodeId w = 0; w < instance.n_women(); ++w) {
+      const auto r = instance.woman_pref(w).ranked();
+      women.emplace_back(std::vector<NodeId>(r.begin(), r.end()));
+    }
+  }
+};
+
+namespace detail {
+
+inline NodeId partner_of_man(const RefInstance& ri, const Matching& matching,
+                             NodeId m) {
+  const NodeId p = matching.partner_of(ri.inst->graph().man_id(m));
+  return p == kNoNode ? kNoNode : ri.inst->graph().woman_index(p);
+}
+
+inline NodeId partner_of_woman(const RefInstance& ri, const Matching& matching,
+                               NodeId w) {
+  const NodeId p = matching.partner_of(ri.inst->graph().woman_id(w));
+  return p == kNoNode ? kNoNode : ri.inst->graph().man_index(p);
+}
+
+inline std::int64_t rank1(const RefPreferenceList& pref, NodeId partner) {
+  if (partner == kNoNode) return static_cast<std::int64_t>(pref.degree()) + 1;
+  const NodeId r = pref.rank_of(partner);
+  DASM_CHECK(r != kNoNode);
+  return static_cast<std::int64_t>(r) + 1;
+}
+
+// The old serial scan, verbatim: every edge of every man in (man, rank)
+// order, no prefix pruning.
+template <typename Predicate, typename Visitor>
+void scan_pairs(const RefInstance& ri, const Matching& matching,
+                Predicate&& blocks, Visitor&& visit) {
+  DASM_CHECK(matching.node_count() == ri.inst->graph().node_count());
+  const NodeId nm = ri.inst->n_men();
+  for (NodeId m = 0; m < nm; ++m) {
+    const NodeId pm = partner_of_man(ri, matching, m);
+    for (NodeId w : ri.men[static_cast<std::size_t>(m)].ranked()) {
+      if (w == pm) continue;
+      const NodeId pw = partner_of_woman(ri, matching, w);
+      if (blocks(m, pm, w, pw)) {
+        if (!visit(BlockingPair{m, w})) return;
+      }
+    }
+  }
+}
+
+inline auto classic_predicate(const RefInstance& ri) {
+  return [&ri](NodeId m, NodeId pm, NodeId w, NodeId pw) {
+    return ri.men[static_cast<std::size_t>(m)].prefers_over_partner(w, pm) &&
+           ri.women[static_cast<std::size_t>(w)].prefers_over_partner(m, pw);
+  };
+}
+
+inline auto eps_predicate(const RefInstance& ri, double eps) {
+  return [&ri, eps](NodeId m, NodeId pm, NodeId w, NodeId pw) {
+    const auto& mp = ri.men[static_cast<std::size_t>(m)];
+    const auto& wp = ri.women[static_cast<std::size_t>(w)];
+    const double man_gap = static_cast<double>(rank1(mp, pm) - rank1(mp, w));
+    const double woman_gap = static_cast<double>(rank1(wp, pw) - rank1(wp, m));
+    return man_gap >= eps * static_cast<double>(mp.degree()) &&
+           woman_gap >= eps * static_cast<double>(wp.degree());
+  };
+}
+
+}  // namespace detail
+
+inline std::vector<BlockingPair> blocking_pairs(const RefInstance& ri,
+                                                const Matching& matching) {
+  std::vector<BlockingPair> out;
+  detail::scan_pairs(ri, matching, detail::classic_predicate(ri),
+                     [&out](const BlockingPair& bp) {
+                       out.push_back(bp);
+                       return true;
+                     });
+  return out;
+}
+
+inline std::optional<BlockingPair> first_blocking_pair(
+    const RefInstance& ri, const Matching& matching) {
+  std::optional<BlockingPair> found;
+  detail::scan_pairs(ri, matching, detail::classic_predicate(ri),
+                     [&found](const BlockingPair& bp) {
+                       found = bp;
+                       return false;
+                     });
+  return found;
+}
+
+inline std::int64_t count_blocking_pairs(const RefInstance& ri,
+                                         const Matching& matching) {
+  std::int64_t count = 0;
+  detail::scan_pairs(ri, matching, detail::classic_predicate(ri),
+                     [&count](const BlockingPair&) {
+                       ++count;
+                       return true;
+                     });
+  return count;
+}
+
+inline bool is_almost_stable(const RefInstance& ri, const Matching& matching,
+                             double eps) {
+  const double budget =
+      eps * static_cast<double>(ri.inst->edge_count());
+  std::int64_t count = 0;
+  bool within = true;
+  detail::scan_pairs(ri, matching, detail::classic_predicate(ri),
+                     [&](const BlockingPair&) {
+                       ++count;
+                       within = static_cast<double>(count) <= budget;
+                       return within;
+                     });
+  return within;
+}
+
+inline std::vector<BlockingPair> eps_blocking_pairs(const RefInstance& ri,
+                                                    const Matching& matching,
+                                                    double eps) {
+  std::vector<BlockingPair> out;
+  detail::scan_pairs(ri, matching, detail::eps_predicate(ri, eps),
+                     [&out](const BlockingPair& bp) {
+                       out.push_back(bp);
+                       return true;
+                     });
+  return out;
+}
+
+inline std::optional<BlockingPair> first_eps_blocking_pair(
+    const RefInstance& ri, const Matching& matching, double eps) {
+  std::optional<BlockingPair> found;
+  detail::scan_pairs(ri, matching, detail::eps_predicate(ri, eps),
+                     [&found](const BlockingPair& bp) {
+                       found = bp;
+                       return false;
+                     });
+  return found;
+}
+
+inline std::int64_t count_eps_blocking_pairs(const RefInstance& ri,
+                                             const Matching& matching,
+                                             double eps) {
+  std::int64_t count = 0;
+  detail::scan_pairs(ri, matching, detail::eps_predicate(ri, eps),
+                     [&count](const BlockingPair&) {
+                       ++count;
+                       return true;
+                     });
+  return count;
+}
+
+/// The old serial compute_metrics over the map-based lists.
+inline MatchingMetrics compute_metrics(const RefInstance& ri,
+                                       const Matching& matching) {
+  DASM_CHECK(matching.node_count() == ri.inst->graph().node_count());
+  MatchingMetrics m;
+  const auto& bg = ri.inst->graph();
+  for (NodeId man = 0; man < ri.inst->n_men(); ++man) {
+    const NodeId partner_node = matching.partner_of(bg.man_id(man));
+    if (partner_node == kNoNode) {
+      ++m.unmatched_men;
+      continue;
+    }
+    const NodeId woman = bg.woman_index(partner_node);
+    const NodeId r = ri.men[static_cast<std::size_t>(man)].rank_of(woman);
+    DASM_CHECK(r != kNoNode);
+    ++m.matched_pairs;
+    m.men_rank_sum += r + 1;
+    m.men_regret = std::max<std::int64_t>(m.men_regret, r + 1);
+  }
+  for (NodeId woman = 0; woman < ri.inst->n_women(); ++woman) {
+    const NodeId partner_node = matching.partner_of(bg.woman_id(woman));
+    if (partner_node == kNoNode) {
+      ++m.unmatched_women;
+      continue;
+    }
+    const NodeId man = bg.man_index(partner_node);
+    const NodeId r = ri.women[static_cast<std::size_t>(woman)].rank_of(man);
+    DASM_CHECK(r != kNoNode);
+    m.women_rank_sum += r + 1;
+    m.women_regret = std::max<std::int64_t>(m.women_regret, r + 1);
+  }
+  m.egalitarian_cost = m.men_rank_sum + m.women_rank_sum;
+  m.sex_equality_cost = std::llabs(m.men_rank_sum - m.women_rank_sum);
+  return m;
+}
+
+}  // namespace dasm::ref

@@ -5,18 +5,24 @@
 namespace dasm::svc {
 
 std::uint64_t digest_instance(const Instance& inst) {
+  // Streams each side's flat CSR arena directly: per list, its length then
+  // its ranked ids. This is byte-for-byte the canonical stream the
+  // per-list walk used to produce, so cache keys are stable across the
+  // representations.
   Fnv1a h;
   h.mix(static_cast<std::uint64_t>(inst.n_men()));
   h.mix(static_cast<std::uint64_t>(inst.n_women()));
-  for (NodeId m = 0; m < inst.n_men(); ++m) {
-    const auto& ranked = inst.man_pref(m).ranked();
-    h.mix(static_cast<std::uint64_t>(ranked.size()));
-    for (NodeId w : ranked) h.mix(static_cast<std::uint64_t>(w));
-  }
-  for (NodeId w = 0; w < inst.n_women(); ++w) {
-    const auto& ranked = inst.woman_pref(w).ranked();
-    h.mix(static_cast<std::uint64_t>(ranked.size()));
-    for (NodeId m : ranked) h.mix(static_cast<std::uint64_t>(m));
+  for (const PrefArena* arena : {&inst.men_arena(), &inst.women_arena()}) {
+    const auto& offsets = arena->offsets();
+    const auto& flat = arena->flat();
+    for (NodeId i = 0; i < arena->size(); ++i) {
+      const auto lo = offsets[static_cast<std::size_t>(i)];
+      const auto hi = offsets[static_cast<std::size_t>(i) + 1];
+      h.mix(static_cast<std::uint64_t>(hi - lo));
+      for (std::int64_t j = lo; j < hi; ++j) {
+        h.mix(static_cast<std::uint64_t>(flat[static_cast<std::size_t>(j)]));
+      }
+    }
   }
   return h.digest();
 }

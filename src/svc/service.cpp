@@ -38,6 +38,9 @@ Response execute_request(const StoredInstance& inst, const Request& request) {
       params.threads = 1;
       const core::AsmResult r = core::run_asm(inst.instance, params);
       resp.matched = r.matching.size();
+      // Verification stays serial here: requests already run one per sweep
+      // worker, and the certifier degrades to its serial scan inside a
+      // pool job anyway.
       resp.blocking = count_blocking_pairs(inst.instance, r.matching);
       fill_net(r.net);
       break;

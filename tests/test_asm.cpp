@@ -184,10 +184,10 @@ TEST(Asm, NoDroppedMenWithoutAmm) {
 
 TEST(Asm, HandlesDegreeZeroPlayers) {
   // Isolated players (empty preference lists) are trivially good.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0});
   men.emplace_back(std::vector<NodeId>{});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{0});
   women.emplace_back(std::vector<NodeId>{});
   const Instance inst(std::move(men), std::move(women));
@@ -198,9 +198,9 @@ TEST(Asm, HandlesDegreeZeroPlayers) {
 }
 
 TEST(Asm, OneByOneInstance) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{0});
   const Instance inst(std::move(men), std::move(women));
   const AsmResult r = run_asm(inst, AsmParams{});

@@ -14,10 +14,10 @@ namespace {
 
 Instance two_by_two() {
   // men: m0: w0 > w1, m1: w0 > w1 ; women: w0: m1 > m0, w1: m1 > m0.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1});
   men.emplace_back(std::vector<NodeId>{0, 1});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1, 0});
   women.emplace_back(std::vector<NodeId>{1, 0});
   return Instance(std::move(men), std::move(women));
@@ -75,12 +75,12 @@ TEST(Blocking, AlmostStableThreshold) {
 
 TEST(EpsBlocking, RequiresGapOnBothSides) {
   // Degree-4 lists; eps = 0.5 needs a rank gap of >= 2 on each side.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
   men.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
   men.emplace_back(std::vector<NodeId>{2, 0, 1, 3});
   men.emplace_back(std::vector<NodeId>{3, 0, 1, 2});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1, 0, 2, 3});
   women.emplace_back(std::vector<NodeId>{0, 1, 2, 3});
   women.emplace_back(std::vector<NodeId>{0, 1, 2, 3});

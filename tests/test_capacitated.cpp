@@ -64,7 +64,7 @@ TEST(SeatExpansion, ValidatesInput) {
   cap.capacities = {0, 1};  // zero capacity
   EXPECT_THROW(SeatExpansion{cap}, CheckError);
   cap = small_hr();
-  cap.hospitals[1] = PreferenceList(std::vector<NodeId>{2, 0});  // asym: 1
+  cap.hospitals[1] = {2, 0};  // asym: 1
   EXPECT_THROW(SeatExpansion{cap}, CheckError);
 }
 

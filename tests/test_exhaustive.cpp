@@ -90,11 +90,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveSeeds,
 TEST(Enumerate, LatticeEndpointsOnKnownInstance) {
   // Classic 3x3 with several stable matchings; verify the lattice
   // endpoints coincide with the two GS runs.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1, 2});
   men.emplace_back(std::vector<NodeId>{1, 2, 0});
   men.emplace_back(std::vector<NodeId>{2, 0, 1});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1, 2, 0});
   women.emplace_back(std::vector<NodeId>{2, 0, 1});
   women.emplace_back(std::vector<NodeId>{0, 1, 2});

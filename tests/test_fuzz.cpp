@@ -33,14 +33,14 @@ Instance random_tiny_instance(Xoshiro256& rng) {
     }
   }
   std::vector<std::vector<NodeId>> women_adj(static_cast<std::size_t>(nw));
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   for (NodeId m = 0; m < nm; ++m) {
     auto adj = men_adj[static_cast<std::size_t>(m)];
     for (NodeId w : adj) women_adj[static_cast<std::size_t>(w)].push_back(m);
     rng.shuffle(adj);
     men.emplace_back(std::move(adj));
   }
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   for (NodeId w = 0; w < nw; ++w) {
     auto adj = women_adj[static_cast<std::size_t>(w)];
     rng.shuffle(adj);

@@ -18,11 +18,11 @@ NodeId partner_of_man(const Instance& inst, const Matching& m, NodeId man) {
 TEST(GaleShapley, ClassicThreeByThree) {
   // A standard textbook instance with distinct man- and woman-optimal
   // stable matchings.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1, 2});
   men.emplace_back(std::vector<NodeId>{1, 0, 2});
   men.emplace_back(std::vector<NodeId>{0, 1, 2});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1, 2, 0});
   women.emplace_back(std::vector<NodeId>{0, 2, 1});
   women.emplace_back(std::vector<NodeId>{0, 1, 2});
@@ -94,10 +94,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GaleShapleySeeds,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 TEST(GaleShapley, EmptyPreferenceListsStayUnmatched) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{});
   men.emplace_back(std::vector<NodeId>{0});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1});
   const Instance inst(std::move(men), std::move(women));
   const auto gs = gale_shapley(inst);

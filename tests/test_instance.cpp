@@ -9,10 +9,10 @@ namespace {
 
 Instance tiny_instance() {
   // 2 men, 2 women, complete symmetric preferences.
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1});
   men.emplace_back(std::vector<NodeId>{1, 0});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1, 0});
   women.emplace_back(std::vector<NodeId>{0, 1});
   return Instance(std::move(men), std::move(women));
@@ -31,32 +31,32 @@ TEST(InstanceTest, BasicAccessors) {
 }
 
 TEST(InstanceTest, RejectsAsymmetry) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{});  // woman does not rank man 0
   EXPECT_THROW(Instance(std::move(men), std::move(women)), CheckError);
 
-  std::vector<PreferenceList> men2;
+  std::vector<Ranking> men2;
   men2.emplace_back(std::vector<NodeId>{});
-  std::vector<PreferenceList> women2;
+  std::vector<Ranking> women2;
   women2.emplace_back(std::vector<NodeId>{0});
   EXPECT_THROW(Instance(std::move(men2), std::move(women2)), CheckError);
 }
 
 TEST(InstanceTest, RejectsOutOfRangePartner) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{5});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{});
   EXPECT_THROW(Instance(std::move(men), std::move(women)), CheckError);
 }
 
 TEST(InstanceTest, IncompleteIsDetected) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0});
   men.emplace_back(std::vector<NodeId>{});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{0});
   const Instance inst(std::move(men), std::move(women));
   EXPECT_FALSE(inst.is_complete());
@@ -64,11 +64,11 @@ TEST(InstanceTest, IncompleteIsDetected) {
 }
 
 TEST(InstanceTest, AlphaIgnoresZeroDegreeMen) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1});
   men.emplace_back(std::vector<NodeId>{});  // unranked man: skipped
   men.emplace_back(std::vector<NodeId>{0});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{0, 2});
   women.emplace_back(std::vector<NodeId>{0});
   const Instance inst(std::move(men), std::move(women));

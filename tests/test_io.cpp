@@ -35,10 +35,10 @@ TEST(InstanceIo, RoundTripsAllFamilies) {
 }
 
 TEST(InstanceIo, EmptyListsSurviveRoundTrip) {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{});
   men.emplace_back(std::vector<NodeId>{0});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1});
   const Instance inst(std::move(men), std::move(women));
   std::stringstream ss;
@@ -89,6 +89,39 @@ TEST(InstanceIo, MalformedInputIsDiagnosedNotUb) {
   std::stringstream non_integer(
       "dasm-instance 1\nmen 1 women 1\nm 0 : zero\nw 0 : 0\n");
   EXPECT_THROW(load_instance(non_integer), CheckError);
+}
+
+TEST(InstanceIo, NumericGarbageIsRejectedNotTruncated) {
+  // Tokens std::stol would have half-accepted (ISSUE 8 satellite): each
+  // must be a diagnosed CheckError, never a silently mangled id.
+
+  // Trailing garbage after digits — stol would have read "12" and moved on.
+  std::stringstream trailing(
+      "dasm-instance 1\nmen 1 women 1\nm 0 : 12x34\nw 0 : 0\n");
+  EXPECT_THROW(load_instance(trailing), CheckError);
+
+  // Wider than any integer type: out_of_range, not UB or a hang.
+  std::stringstream huge(
+      "dasm-instance 1\nmen 1 women 1\nm 0 : 99999999999999999999\n"
+      "w 0 : 0\n");
+  EXPECT_THROW(load_instance(huge), CheckError);
+
+  // Fits in long but not in NodeId — 2^32 used to truncate to id 0.
+  std::stringstream wraps(
+      "dasm-instance 1\nmen 1 women 1\nm 0 : 4294967296\nw 0 : 0\n");
+  EXPECT_THROW(load_instance(wraps), CheckError);
+
+  // The same hardening applies to header counts and list owner ids.
+  std::stringstream bad_count("dasm-instance 1\nmen 2x women 2\n");
+  EXPECT_THROW(load_instance(bad_count), CheckError);
+  std::stringstream bad_owner(
+      "dasm-instance 1\nmen 1 women 1\nm 0x0 : 0\nw 0 : 0\n");
+  EXPECT_THROW(load_instance(bad_owner), CheckError);
+
+  // A negative partner id inside a ranking line.
+  std::stringstream negative(
+      "dasm-instance 1\nmen 1 women 1\nm 0 : -7\nw 0 : 0\n");
+  EXPECT_THROW(load_instance(negative), CheckError);
 }
 
 TEST(MatchingIo, MalformedInputIsDiagnosedNotUb) {

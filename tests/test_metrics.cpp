@@ -10,10 +10,10 @@ namespace dasm {
 namespace {
 
 Instance two_by_two() {
-  std::vector<PreferenceList> men;
+  std::vector<Ranking> men;
   men.emplace_back(std::vector<NodeId>{0, 1});
   men.emplace_back(std::vector<NodeId>{0, 1});
-  std::vector<PreferenceList> women;
+  std::vector<Ranking> women;
   women.emplace_back(std::vector<NodeId>{1, 0});
   women.emplace_back(std::vector<NodeId>{1, 0});
   return Instance(std::move(men), std::move(women));

@@ -11,16 +11,18 @@ namespace dasm::core {
 namespace {
 
 // One man (node 0) who ranks two women (nodes 1, 2); both rank him back.
+// The arena owns both lists (players only keep views) and is declared
+// first so the views handed to the player constructors are valid.
 struct Harness {
   Harness()
-      : net({{1, 2}, {0}, {0}}),
-        man(0, man_pref, /*k=*/2, /*woman_id_offset=*/1,
+      : arena(std::vector<Ranking>{{0, 1}, {0}}, /*universe=*/2, "test"),
+        net({{1, 2}, {0}, {0}}),
+        man(0, arena.list(0), /*k=*/2, /*woman_id_offset=*/1,
             mm::make_node(mm::Backend::kPointerGreedy, 1, 0)),
-        w0(1, w_pref, 2, mm::make_node(mm::Backend::kPointerGreedy, 1, 1)),
-        w1(2, w_pref, 2, mm::make_node(mm::Backend::kPointerGreedy, 1, 2)) {}
+        w0(1, arena.list(1), 2, mm::make_node(mm::Backend::kPointerGreedy, 1, 1)),
+        w1(2, arena.list(1), 2, mm::make_node(mm::Backend::kPointerGreedy, 1, 2)) {}
 
-  PreferenceList man_pref{std::vector<NodeId>{0, 1}};
-  PreferenceList w_pref{std::vector<NodeId>{0}};
+  PrefArena arena;
   Network net;
   ManPlayer man;
   WomanPlayer w0;
@@ -94,9 +96,10 @@ TEST(ManPlayerTest, ExhaustedManIsGood) {
 
 TEST(WomanPlayerTest, AcceptsBestProposingQuantile) {
   // Woman (node 2) ranks men 0 and 1; k = 2 so each is his own quantile.
-  PreferenceList wp(std::vector<NodeId>{0, 1});
+  PrefArena arena(std::vector<Ranking>{{0, 1}}, 2, "woman");
   Network net({{2}, {2}, {0, 1}});
-  WomanPlayer w(2, wp, 2, mm::make_node(mm::Backend::kPointerGreedy, 1, 2));
+  WomanPlayer w(2, arena.list(0), 2,
+                mm::make_node(mm::Backend::kPointerGreedy, 1, 2));
 
   net.begin_round();
   net.send(0, 2, Message{MsgType::kPropose});
@@ -113,9 +116,10 @@ TEST(WomanPlayerTest, AcceptsBestProposingQuantile) {
 
 TEST(WomanPlayerTest, AcceptsWholeQuantileWhenCoarse) {
   // k = 1: both men share quantile 1, so both get accepted.
-  PreferenceList wp(std::vector<NodeId>{0, 1});
+  PrefArena arena(std::vector<Ranking>{{0, 1}}, 2, "woman");
   Network net({{2}, {2}, {0, 1}});
-  WomanPlayer w(2, wp, 1, mm::make_node(mm::Backend::kPointerGreedy, 1, 2));
+  WomanPlayer w(2, arena.list(0), 1,
+                mm::make_node(mm::Backend::kPointerGreedy, 1, 2));
   net.begin_round();
   net.send(0, 2, Message{MsgType::kPropose});
   net.send(1, 2, Message{MsgType::kPropose});
@@ -128,9 +132,10 @@ TEST(WomanPlayerTest, AcceptsWholeQuantileWhenCoarse) {
 }
 
 TEST(WomanPlayerTest, ProposalFromUnrankedManIsAViolation) {
-  PreferenceList wp(std::vector<NodeId>{0});
+  PrefArena arena(std::vector<Ranking>{{0}}, 2, "woman");
   Network net({{2}, {2}, {0, 1}});
-  WomanPlayer w(2, wp, 1, mm::make_node(mm::Backend::kPointerGreedy, 1, 2));
+  WomanPlayer w(2, arena.list(0), 1,
+                mm::make_node(mm::Backend::kPointerGreedy, 1, 2));
   net.begin_round();
   net.send(1, 2, Message{MsgType::kPropose});  // man 1 is not on her list
   net.end_round();

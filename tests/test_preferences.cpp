@@ -8,8 +8,17 @@
 namespace dasm {
 namespace {
 
+// Lists in tests are views into a single-list arena; `universe` is the
+// opposite-side size the ids are drawn from.
+PrefArena make_arena(Ranking ranked, NodeId universe) {
+  std::vector<Ranking> rankings;
+  rankings.push_back(std::move(ranked));
+  return PrefArena(std::move(rankings), universe, "test");
+}
+
 TEST(PreferenceListTest, RanksAndLookup) {
-  PreferenceList p({4, 2, 7});
+  const PrefArena a = make_arena({4, 2, 7}, 10);
+  const PreferenceList& p = a.list(0);
   EXPECT_EQ(p.degree(), 3);
   EXPECT_FALSE(p.empty());
   EXPECT_EQ(p.at_rank(0), 4);
@@ -20,8 +29,22 @@ TEST(PreferenceListTest, RanksAndLookup) {
   EXPECT_FALSE(p.contains(0));
 }
 
+TEST(PreferenceListTest, SparseFallbackMatchesDense) {
+  // The same ranking through both inverse representations: a small
+  // universe forces the dense row, a huge one the sorted-pairs fallback.
+  const Ranking ranked = {4, 2, 7};
+  const PrefArena dense = make_arena(ranked, 8);
+  const PrefArena sparse = make_arena(ranked, 1000);
+  for (NodeId u = 0; u < 10; ++u) {
+    EXPECT_EQ(dense.list(0).rank_of(u), sparse.list(0).rank_of(u)) << u;
+  }
+  EXPECT_EQ(sparse.list(0).rank_of(999), kNoNode);
+  EXPECT_EQ(sparse.list(0).rank_of(-3), kNoNode);
+}
+
 TEST(PreferenceListTest, PrefersIsStrict) {
-  PreferenceList p({4, 2, 7});
+  const PrefArena a = make_arena({4, 2, 7}, 100);
+  const PreferenceList& p = a.list(0);
   EXPECT_TRUE(p.prefers(4, 2));
   EXPECT_FALSE(p.prefers(2, 4));
   EXPECT_FALSE(p.prefers(2, 2));
@@ -29,29 +52,60 @@ TEST(PreferenceListTest, PrefersIsStrict) {
 }
 
 TEST(PreferenceListTest, UnmatchedConvention) {
-  PreferenceList p({4, 2});
+  const PrefArena a = make_arena({4, 2}, 5);
+  const PreferenceList& p = a.list(0);
   EXPECT_TRUE(p.prefers_over_partner(2, kNoNode));
   EXPECT_TRUE(p.prefers_over_partner(4, 2));
   EXPECT_FALSE(p.prefers_over_partner(2, 4));
 }
 
 TEST(PreferenceListTest, RejectsDuplicatesAndNegatives) {
-  EXPECT_THROW(PreferenceList({1, 1}), CheckError);
-  EXPECT_THROW(PreferenceList({0, -2}), CheckError);
+  EXPECT_THROW(make_arena({1, 1}, 5), CheckError);
+  EXPECT_THROW(make_arena({0, -2}, 5), CheckError);
+  // Both representations must reject duplicates.
+  EXPECT_THROW(make_arena({1, 1}, 1000), CheckError);
+  EXPECT_THROW(make_arena({0, -2}, 1000), CheckError);
+  // Ids at or beyond the declared universe are invalid.
+  EXPECT_THROW(make_arena({5}, 5), CheckError);
 }
 
 TEST(PreferenceListTest, EmptyList) {
-  PreferenceList p;
+  const PreferenceList p;
   EXPECT_EQ(p.degree(), 0);
   EXPECT_TRUE(p.empty());
   EXPECT_EQ(p.rank_of(0), kNoNode);
   EXPECT_THROW(p.at_rank(0), CheckError);
 }
 
+TEST(PrefArenaTest, FlatLayoutConcatenatesLists) {
+  std::vector<Ranking> rankings = {{2, 0}, {}, {1}};
+  const PrefArena a(std::move(rankings), 3, "test");
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.universe(), 3);
+  EXPECT_EQ(a.total_degree(), 3);
+  const std::vector<NodeId> flat = {2, 0, 1};
+  EXPECT_EQ(a.flat(), flat);
+  const std::vector<std::int64_t> offsets = {0, 2, 2, 3};
+  EXPECT_EQ(a.offsets(), offsets);
+  EXPECT_TRUE(a.list(1).empty());
+  EXPECT_EQ(a.list(2).at_rank(0), 1);
+  EXPECT_THROW(a.list(3), CheckError);
+}
+
+TEST(PrefArenaTest, ViewsSurviveMoves) {
+  PrefArena a = make_arena({3, 1, 4}, 6);
+  const PreferenceList* before = &a.list(0);
+  const NodeId* data_before = before->ranked().data();
+  PrefArena b = std::move(a);
+  EXPECT_EQ(b.list(0).ranked().data(), data_before);
+  EXPECT_EQ(b.list(0).rank_of(4), 2);
+}
+
 // ----------------------------------------------------------- quantization
 
 TEST(QuantileTest, SingletonQuantilesWhenKAtLeastDegree) {
-  PreferenceList p({5, 6, 7});
+  const PrefArena a = make_arena({5, 6, 7}, 10);
+  const PreferenceList& p = a.list(0);
   for (NodeId k : {3, 4, 10}) {
     EXPECT_EQ(p.quantile_of(5, k), 1);
     EXPECT_GT(p.quantile_of(6, k), p.quantile_of(5, k));
@@ -60,16 +114,18 @@ TEST(QuantileTest, SingletonQuantilesWhenKAtLeastDegree) {
 }
 
 TEST(QuantileTest, SingleQuantileWhenKIsOne) {
-  PreferenceList p({5, 6, 7, 8});
+  const PrefArena a = make_arena({5, 6, 7, 8}, 10);
+  const PreferenceList& p = a.list(0);
   for (NodeId u : p.ranked()) EXPECT_EQ(p.quantile_of(u, 1), 1);
 }
 
 TEST(QuantileTest, BalancedSizes) {
   // 10 partners in 3 quantiles: sizes must differ by at most one and be
   // monotone in rank.
-  std::vector<NodeId> partners;
+  Ranking partners;
   for (NodeId i = 0; i < 10; ++i) partners.push_back(100 + i);
-  PreferenceList p(partners);
+  const PrefArena a = make_arena(std::move(partners), 200);
+  const PreferenceList& p = a.list(0);
   std::vector<int> size(4, 0);
   NodeId prev_q = 0;
   for (NodeId r = 0; r < 10; ++r) {
@@ -87,9 +143,10 @@ TEST(QuantileTest, BalancedSizes) {
 }
 
 TEST(QuantileTest, MembersPartitionTheList) {
-  std::vector<NodeId> partners;
+  Ranking partners;
   for (NodeId i = 0; i < 17; ++i) partners.push_back(i);
-  PreferenceList p(partners);
+  const PrefArena a = make_arena(std::move(partners), 17);
+  const PreferenceList& p = a.list(0);
   const NodeId k = 5;
   std::size_t total = 0;
   for (NodeId q = 1; q <= k; ++q) {
@@ -101,10 +158,34 @@ TEST(QuantileTest, MembersPartitionTheList) {
   EXPECT_EQ(total, 17u);
 }
 
+TEST(QuantileTest, MembersAreTheContiguousRankSlice) {
+  // quantile_members is a direct slice of the ranked array; cross-check it
+  // against the definitional filter for several (d, k) shapes, both with
+  // k dividing d and not.
+  for (NodeId d : {1, 2, 3, 7, 12, 17}) {
+    Ranking partners;
+    for (NodeId i = 0; i < d; ++i) partners.push_back(d - i - 1);
+    const PrefArena a = make_arena(std::move(partners), d);
+    const PreferenceList& p = a.list(0);
+    for (NodeId k : {1, 2, 3, 5, d, static_cast<NodeId>(d + 3)}) {
+      for (NodeId q = 1; q <= k; ++q) {
+        Ranking expected;
+        for (NodeId r = 0; r < d; ++r) {
+          const NodeId u = p.at_rank(r);
+          if (p.quantile_of(u, k) == q) expected.push_back(u);
+        }
+        EXPECT_EQ(p.quantile_members(q, k), expected)
+            << "d=" << d << " k=" << k << " q=" << q;
+      }
+    }
+  }
+}
+
 TEST(QuantileTest, MatchesFreeFunction) {
-  std::vector<NodeId> partners;
+  Ranking partners;
   for (NodeId i = 0; i < 23; ++i) partners.push_back(i);
-  PreferenceList p(partners);
+  const PrefArena a = make_arena(std::move(partners), 23);
+  const PreferenceList& p = a.list(0);
   for (NodeId k : {1, 2, 5, 23, 40}) {
     for (NodeId r = 0; r < 23; ++r) {
       EXPECT_EQ(p.quantile_of(p.at_rank(r), k),
@@ -114,7 +195,8 @@ TEST(QuantileTest, MatchesFreeFunction) {
 }
 
 TEST(QuantileTest, RejectsBadArguments) {
-  PreferenceList p({1, 2});
+  const PrefArena a = make_arena({1, 2}, 5);
+  const PreferenceList& p = a.list(0);
   EXPECT_THROW(p.quantile_of(1, 0), CheckError);
   EXPECT_THROW(p.quantile_of(9, 2), CheckError);
   EXPECT_THROW(p.quantile_members(0, 2), CheckError);

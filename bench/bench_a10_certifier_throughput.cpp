@@ -333,6 +333,38 @@ int bench_main(int argc, const char* const* argv) {
     DASM_CHECK_MSG(js.good(), "write to " << json_out << " failed");
   }
   std::cout << "\nwrote " << json_out << "\n";
+
+  // Separate instrumented pass for --metrics-out, after all timing: one
+  // arena certification pass per workload with each scan recorded into
+  // time.certify.scan_us, the per-scan latency distribution EXPERIMENTS.md
+  // A11 reads. Runs serial so every scan's wall-clock is one scan, not a
+  // pool dispatch.
+  if (!opt.metrics_out.empty()) {
+    obs::MetricsRegistry registry;
+    const obs::CounterHandle scans = registry.counter("certify.scans");
+    const obs::HistogramHandle scan_us =
+        registry.histogram("time.certify.scan_us");
+    for (const Workload& w : workloads) {
+      for (const Matching& m : w.matchings) {
+        {
+          const obs::ScopedTimer timer(scan_us);
+          DASM_CHECK(count_blocking_pairs(w.inst, m, nullptr) >= 0);
+        }
+        scans.inc();
+        {
+          const obs::ScopedTimer timer(scan_us);
+          DASM_CHECK(count_eps_blocking_pairs(w.inst, m, kEps, nullptr) >= 0);
+        }
+        scans.inc();
+        {
+          const obs::ScopedTimer timer(scan_us);
+          DASM_CHECK(compute_metrics(w.inst, m, nullptr).matched_pairs >= 0);
+        }
+        scans.inc();
+      }
+    }
+    bench::write_metrics_snapshot(opt.metrics_out, registry);
+  }
   return ok ? 0 : 1;
 }
 

@@ -269,6 +269,7 @@ bool engines_agree(const std::vector<std::vector<NodeId>>& adj, int rounds,
 
 int main(int argc, char** argv) {
   using namespace dasm;
+  const bench::Options opts = bench::parse_options(argc, argv);
   bench::print_header(
       "A6",
       "Engine plumbing, not the paper: per-round message delivery cost of "
@@ -330,7 +331,7 @@ int main(int argc, char** argv) {
   std::vector<AgreeCell> agree_cells;
   agree_cells.push_back({complete_bipartite(24), 1});
   agree_cells.push_back({circulant(512, 6), 2});
-  par::SweepRunner sweep(bench::parse_options(argc, argv).threads);
+  par::SweepRunner sweep(opts.threads);
   // int cells, not bool: vector<bool> packs slots into shared words, which
   // concurrent cell writes would race on.
   const auto agreement = sweep.map<int>(
@@ -365,6 +366,20 @@ int main(int argc, char** argv) {
   bench::print_verdict(dense_speedup_ok,
                        "arena engine >= 2x legacy rounds/sec on the dense "
                        "graph (trace off)");
+
+  // Separate instrumented pass for --metrics-out, after every timed
+  // measurement so the registry never perturbs them: saturated rounds on
+  // the dense graph with the wall-clock metrics attached.
+  if (!opts.metrics_out.empty()) {
+    obs::MetricsRegistry registry;
+    const auto metrics_adj = complete_bipartite(128);
+    Network arena(metrics_adj, 1 << 20);
+    arena.set_metrics(&registry);
+    for (int r = 0; r < 50; ++r) {
+      g_sink += saturate_round(arena, metrics_adj, r);
+    }
+    bench::write_metrics_snapshot(opts.metrics_out, registry);
+  }
   std::cout << "(read-pass checksum " << g_sink << ")\n";
   return 0;
 }

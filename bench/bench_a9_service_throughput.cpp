@@ -197,6 +197,24 @@ int bench_main(int argc, const char* const* argv) {
 
   bench::print_verdict(speedup >= 2.0,
                        "batching + cache >= 2x naive requests/s");
+
+  // Separate instrumented pass for --metrics-out, after the timed
+  // comparison so instrumentation never perturbs it: a fresh service with
+  // the metrics registry attached replays the workload, giving the
+  // EXPERIMENTS.md A11 service-latency table (queue wait, execute time,
+  // batch shape, hit rate).
+  if (!opt.metrics_out.empty()) {
+    obs::MetricsRegistry registry;
+    svc::SvcConfig mconfig;
+    mconfig.threads = opt.threads;
+    mconfig.queue_capacity = workload.size() + 1;
+    mconfig.metrics = &registry;
+    svc::MatchService mservice(mconfig);
+    register_corpus(mservice, n, n_instances);
+    double unused_s = 0.0;
+    run_service(mservice, workload, batch_size, &unused_s);
+    bench::write_metrics_snapshot(opt.metrics_out, registry);
+  }
   return speedup >= 2.0 ? 0 : 1;
 }
 

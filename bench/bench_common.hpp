@@ -14,6 +14,7 @@
 #include "core/engine.hpp"
 #include "gen/generators.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 #include "stable/instance.hpp"
 #include "util/check.hpp"
@@ -39,9 +40,17 @@ inline bool large_mode() {
 ///                  representative run to P: ".json" selects Chrome
 ///                  trace-event JSON, anything else the JSONL form
 ///                  dasm-trace inspects. Empty = tracing off.
+///   --metrics-out P  write a wall-clock metrics snapshot (src/obs/
+///                  metrics.hpp) of one instrumented pass to P: ".prom"
+///                  selects Prometheus text exposition, anything else the
+///                  JSONL form `dasm-trace metrics` / `dasm-trace diff`
+///                  consume. The instrumented pass runs after the timed
+///                  sweep, so it never perturbs the measurements. Empty =
+///                  metrics off.
 struct Options {
   int threads = 1;
   std::string trace_out;
+  std::string metrics_out;
 };
 
 /// Parses the shared flags, rejecting anything unrecognized: an unknown
@@ -52,7 +61,9 @@ inline Options parse_options(int argc, const char* const* argv,
                              std::initializer_list<const char*> extra_flags = {}) {
   const Cli cli(argc, argv);
   auto known = [&](const std::string& name) {
-    if (name == "threads" || name == "trace-out") return true;
+    if (name == "threads" || name == "trace-out" || name == "metrics-out") {
+      return true;
+    }
     for (const char* extra : extra_flags) {
       if (name == extra) return true;
     }
@@ -70,7 +81,7 @@ inline Options parse_options(int argc, const char* const* argv,
   }
   if (bad) {
     std::cerr << "usage: " << cli.program()
-              << " [--threads N] [--trace-out PATH]";
+              << " [--threads N] [--trace-out PATH] [--metrics-out PATH]";
     for (const char* extra : extra_flags) std::cerr << " [--" << extra << " V]";
     std::cerr << "\n";
     std::exit(2);
@@ -80,6 +91,7 @@ inline Options parse_options(int argc, const char* const* argv,
   opt.threads =
       threads > 0 ? static_cast<int>(threads) : par::hardware_threads();
   opt.trace_out = cli.get("trace-out", "");
+  opt.metrics_out = cli.get("metrics-out", "");
   return opt;
 }
 
@@ -97,6 +109,31 @@ inline void export_asm_trace(const std::string& path, const Instance& inst,
   obs::write_trace_file(sink, path);
   std::cout << "[trace] wrote " << path << " (" << sink.events.size()
             << " events, " << sink.rounds.size() << " round samples)\n";
+}
+
+/// Writes `registry`'s snapshot to `path` (".prom" = Prometheus text
+/// exposition, else JSONL) and prints a one-line confirmation, mirroring
+/// export_asm_trace(). No-op under DASM_OBS_DISABLED beyond the empty
+/// snapshot.
+inline void write_metrics_snapshot(const std::string& path,
+                                   const obs::MetricsRegistry& registry) {
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  obs::write_metrics_file(snap, path);
+  std::cout << "[metrics] wrote " << path << " (" << snap.counters.size()
+            << " counters, " << snap.gauges.size() << " gauges, "
+            << snap.histograms.size() << " histograms)\n";
+}
+
+/// Re-runs one representative ASM cell with a metrics registry attached
+/// and writes its snapshot to `path` — the metrics twin of
+/// export_asm_trace(), run after the timed sweep so instrumentation never
+/// perturbs the measurements.
+inline void export_asm_metrics(const std::string& path, const Instance& inst,
+                               core::AsmParams params) {
+  obs::MetricsRegistry registry;
+  params.metrics = &registry;
+  core::run_asm(inst, params);
+  write_metrics_snapshot(path, registry);
 }
 
 inline void print_header(const std::string& id, const std::string& claim,

@@ -85,6 +85,41 @@ EOF
     python3 -m json.tool "$smoke/a10.json" >/dev/null
   fi
   echo "bench_a10 smoke OK"
+  # Metrics smoke (ISSUE 9): a run emits a JSONL metrics snapshot that a
+  # real JSON parser accepts, `dasm-trace metrics` summarizes it, `diff`
+  # exits 0 on a self-compare and nonzero on a genuinely regressed
+  # candidate (a larger instance inflates every logical metric), and the
+  # batch path writes a snapshot too.
+  build/tools/dasm run --algo asm --family complete --n 24 \
+    --metrics-out "$smoke/m_base.jsonl" >/dev/null
+  build/tools/dasm run --algo asm --family complete --n 48 \
+    --metrics-out "$smoke/m_reg.jsonl" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$smoke/m_base.jsonl"
+  fi
+  build/tools/dasm-trace metrics "$smoke/m_base.jsonl" >/dev/null
+  build/tools/dasm-trace diff "$smoke/m_base.jsonl" "$smoke/m_base.jsonl" \
+    >/dev/null
+  if build/tools/dasm-trace diff "$smoke/m_base.jsonl" "$smoke/m_reg.jsonl" \
+    --threshold 10 >/dev/null; then
+    echo "metrics diff gate failed to flag a regressed candidate" >&2
+    exit 1
+  fi
+  build/tools/dasm batch --requests "$smoke/reqs.txt" \
+    --out "$smoke/resp_m.txt" --metrics-out "$smoke/m_svc.jsonl" >/dev/null
+  build/tools/dasm-trace metrics "$smoke/m_svc.jsonl" >/dev/null
+  # A Prometheus snapshot and the overhead bench (identity DASM_CHECKs of
+  # the instrumented-vs-null runs; its JSON must parse).
+  cmake --build build --target bench_a11_metrics_overhead
+  build/bench/bench_a11_metrics_overhead --n 48 \
+    --json-out "$smoke/a11.json" --metrics-out "$smoke/m_a11.prom" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$smoke/a11.json" >/dev/null
+  fi
+  grep -q '^# TYPE dasm_engine_runs counter$' "$smoke/m_a11.prom"
+  echo "metrics smoke OK"
   exit 0
 fi
 

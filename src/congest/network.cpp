@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -153,6 +154,7 @@ void Network::begin_round() {
   DASM_CHECK_MSG(!round_open_, "begin_round() while a round is open");
   round_open_ = true;
   ++round_serial_;
+  round_start_messages_ = stats_.messages;
 }
 
 void Network::send(NodeId from, NodeId to, const Message& msg) {
@@ -246,6 +248,24 @@ void Network::flush_lanes() {
 }
 
 void Network::end_round() {
+  // The metrics wrapper: with no registry attached this is one branch in
+  // front of the real work; with one, it times the full close (lane flush,
+  // fault-layer wire rounds, arena flip) and records the round's offered
+  // load. Both figures cover the fault path because end_round_impl()
+  // returns only after publish_fault_round().
+  if (!m_end_round_us_.active()) [[likely]] {
+    end_round_impl();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  end_round_impl();
+  m_round_messages_.observe(stats_.messages - round_start_messages_);
+  m_end_round_us_.observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+}
+
+void Network::end_round_impl() {
   DASM_CHECK_MSG(round_open_, "end_round() without begin_round()");
   flush_lanes();
   round_open_ = false;
@@ -584,6 +604,17 @@ void Network::publish_fault_round() {
 void Network::set_round_hook(std::function<void(const NetStats&)> hook) {
   DASM_CHECK_MSG(!round_open_, "set_round_hook() while a round is open");
   round_hook_ = std::move(hook);
+}
+
+void Network::set_metrics(obs::MetricsRegistry* registry) {
+  DASM_CHECK_MSG(!round_open_, "set_metrics() while a round is open");
+  if (registry == nullptr) {
+    m_end_round_us_ = {};
+    m_round_messages_ = {};
+    return;
+  }
+  m_end_round_us_ = registry->histogram("time.net.end_round_us");
+  m_round_messages_ = registry->histogram("net.round_messages");
 }
 
 InboxView Network::inbox(NodeId v) const {

@@ -37,6 +37,7 @@
 #include "congest/fault.hpp"
 #include "congest/message.hpp"
 #include "congest/types.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace dasm {
@@ -221,6 +222,15 @@ class Network {
 
   const NetStats& stats() const { return stats_; }
 
+  /// Wall-clock metrics (src/obs/metrics.hpp, DESIGN.md §11). Registers
+  /// `time.net.end_round_us` (flush/commit latency per round) and
+  /// `net.round_messages` (offered load per round — logical, hence
+  /// byte-identical at any thread count) in `registry` and records them
+  /// on every subsequent end_round(). Pass nullptr to detach; when
+  /// detached (the default) end_round() pays one branch and never reads
+  /// the clock. Only callable between rounds, on the driver thread.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Observability hook (src/obs/): invoked at the end of every
   /// end_round(), after staged lanes have been committed and the round's
   /// statistics are final, with the cumulative stats. The callback runs
@@ -317,6 +327,12 @@ class Network {
   int bit_budget_ = 0;
   NetStats stats_;
   std::function<void(const NetStats&)> round_hook_;
+  // Wall-clock metrics handles (inactive unless set_metrics() attached a
+  // registry). round_start_messages_ snapshots stats_.messages at
+  // begin_round() so end_round() can observe the round's offered load.
+  obs::HistogramHandle m_end_round_us_;
+  obs::HistogramHandle m_round_messages_;
+  std::int64_t round_start_messages_ = 0;
   // Trace ring buffer: trace_ring_[trace_start_] is the oldest retained
   // event, trace_size_ events follow cyclically.
   std::vector<TraceEvent> trace_ring_;
@@ -359,6 +375,7 @@ class Network {
   int max_retransmits_ = 64;
 
   std::size_t edge_slot(NodeId from, NodeId to) const;
+  void end_round_impl();
   void commit_send(NodeId from, NodeId to, int bits, const Message& msg);
   void record_trace_event(NodeId from, NodeId to, const Message& msg);
   bool node_crashed(NodeId v, std::int64_t wire_round) const;

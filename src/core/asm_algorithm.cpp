@@ -60,6 +60,19 @@ AsmEngine::AsmEngine(const Instance& inst, const AsmParams& params)
     net_.set_round_hook(
         [this](const NetStats& stats) { rec_.on_round(stats); });
   }
+  if (params.metrics != nullptr && obs::MetricsRegistry::enabled()) {
+    // Registration happens here, on the driver thread, before any parallel
+    // region; recording then lands in per-worker lanes (DESIGN.md §11).
+    params.metrics->ensure_lanes(threads > 1 ? threads : 1);
+    m_runs_ = params.metrics->counter("engine.runs");
+    m_outer_iters_ = params.metrics->counter("engine.outer_iters");
+    m_inner_iters_ = params.metrics->counter("engine.inner_iters");
+    m_outer_us_ = params.metrics->histogram("time.engine.outer_us");
+    m_inner_us_ = params.metrics->histogram("time.engine.inner_us");
+    m_inner_rounds_ = params.metrics->histogram("engine.inner_rounds");
+    m_certify_us_ = params.metrics->histogram("time.engine.certify_us");
+    net_.set_metrics(params.metrics);
+  }
 }
 
 NodeId g0_degree_bound(const Instance& inst, NodeId k) {
@@ -107,8 +120,13 @@ void AsmEngine::record_snapshot(int outer_iteration) {
 }
 
 AsmResult AsmEngine::run() {
+  m_runs_.inc();
   rec_.begin_span(obs::Phase::kRun, 0, net_.stats());
   for (int i = 0; i < sched_.outer; ++i) {
+    // The ScopedTimer records on every exit from the outer body,
+    // including the early returns below (budget, quiescence trim).
+    const obs::ScopedTimer outer_timer(m_outer_us_);
+    m_outer_iters_.inc();
     rec_.begin_span(obs::Phase::kOuter, i, net_.stats());
     const std::int64_t threshold =
         params_.gate_by_degree ? (std::int64_t{1} << std::min(i, 62)) : 1;
@@ -119,7 +137,14 @@ AsmResult AsmEngine::run() {
     for (std::int64_t j = 0; j < sched_.inner; ++j) {
       const std::int64_t inner_index = inner_iteration_counter_;
       rec_.begin_span(obs::Phase::kInner, inner_index, net_.stats());
-      const bool moved = run_quantile_match();
+      const std::int64_t rounds_before = net_.stats().executed_rounds;
+      bool moved = false;
+      {
+        const obs::ScopedTimer inner_timer(m_inner_us_);
+        moved = run_quantile_match();
+      }
+      m_inner_iters_.inc();
+      m_inner_rounds_.observe(net_.stats().executed_rounds - rounds_before);
       ++inner_iteration_counter_;
       if (params_.record_trace) record_snapshot(i);
       emit_inner_counters();
@@ -162,6 +187,7 @@ void AsmEngine::emit_inner_counters() {
     // Called between rounds from the main thread, so the engine's pool is
     // idle and the certifier can shard the scan over it; the parallel
     // counts are bit-identical to the serial ones.
+    const obs::ScopedTimer certify_timer(m_certify_us_);
     const Matching m = current_matching();
     rec_.counter(obs::Counter::kBlockingPairs, round,
                  count_blocking_pairs(*inst_, m, pool_.get()));

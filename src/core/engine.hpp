@@ -99,6 +99,15 @@ class AsmEngine {
   std::int64_t inner_iteration_counter_ = 0;
   std::vector<InnerSnapshot> trace_;
   obs::Recorder rec_;  // null-sink recorder unless AsmParams::obs_sink set
+
+  // Wall-clock metrics handles (inactive unless AsmParams::metrics set).
+  obs::CounterHandle m_runs_;
+  obs::CounterHandle m_outer_iters_;
+  obs::CounterHandle m_inner_iters_;
+  obs::HistogramHandle m_outer_us_;       // time per outer iteration
+  obs::HistogramHandle m_inner_us_;       // time per inner iteration
+  obs::HistogramHandle m_inner_rounds_;   // logical: rounds per inner iter
+  obs::HistogramHandle m_certify_us_;     // blocking-pair sampling scans
 };
 
 /// Convenience entry point: run ASM with `params` on `inst`.

@@ -14,6 +14,7 @@
 
 namespace dasm::obs {
 class TraceSink;
+class MetricsRegistry;
 }
 
 namespace dasm::core {
@@ -109,6 +110,19 @@ struct AsmParams {
   /// Exported traces are bit-identical at every `threads` value — see
   /// DESIGN.md §7.
   obs::TraceSink* obs_sink = nullptr;
+
+  /// Wall-clock metrics registry (src/obs/metrics.hpp, DESIGN.md §11):
+  /// when set, the engine registers and records per-run counters
+  /// (engine.runs / outer_iters / inner_iters), logical histograms
+  /// (engine.inner_rounds, net.round_messages), and wall-clock
+  /// histograms (time.engine.outer_us / inner_us / certify_us,
+  /// time.net.end_round_us). Non-owning; must outlive the run, and must
+  /// not be shared with engines running concurrently on other threads —
+  /// registration and lane sizing are driver-thread operations. Logical
+  /// metrics are byte-identical at every `threads` value; "time.*" is
+  /// excluded from that contract. Null disables recording (inactive
+  /// handles cost one branch per site).
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// Fault injection (DESIGN.md §8): when active, the engine installs the
   /// plan on its Network before round 0, so messages can be dropped,

@@ -20,6 +20,7 @@ AsmParams to_asm_params(const RandAsmParams& params) {
   p.net_trace_events = params.net_trace_events;
   p.obs_sink = params.obs_sink;
   p.obs_blocking_pairs = params.obs_blocking_pairs;
+  p.metrics = params.metrics;
   p.fault_plan = params.fault_plan;
   p.retransmit_after = params.retransmit_after;
   p.max_retransmits = params.max_retransmits;

@@ -33,6 +33,9 @@ struct RandAsmParams {
   /// recorder (src/obs/), passed through to the underlying ASM engine.
   obs::TraceSink* obs_sink = nullptr;
   bool obs_blocking_pairs = false;
+  /// See AsmParams::metrics: the wall-clock metrics registry, passed
+  /// through to the underlying ASM engine.
+  obs::MetricsRegistry* metrics = nullptr;
   /// See AsmParams::fault_plan / retransmit_after / max_retransmits:
   /// fault injection and the reliability sublayer, passed through to the
   /// underlying ASM engine.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "congest/message.hpp"
+#include "obs/jsonl.hpp"
 #include "util/check.hpp"
 
 namespace dasm::obs {
@@ -74,121 +75,18 @@ void merged_walk(const MemorySink& sink, EventFn&& on_event,
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON reader for the fixed shape load_jsonl() accepts: one flat
-// object per line whose values are integers, strings, or one nested
-// object of integers. We never emit string escapes, so none are accepted.
+// Parsing uses the shared forward-compatible reader (obs/jsonl.hpp):
+// unknown keys in otherwise well-formed lines are skipped so older tools
+// read newer traces, while malformed lines, unknown line tags, and
+// unknown enum names remain hard errors.
 
-struct Value {
-  enum class Kind { kInt, kString, kObject };
-  Kind kind = Kind::kInt;
-  std::int64_t num = 0;
-  std::string str;
-  std::vector<std::pair<std::string, std::int64_t>> object;
-};
-
-using Object = std::vector<std::pair<std::string, Value>>;
-
-struct Cursor {
-  const char* p;
-  const char* end;
-
-  void skip_ws() {
-    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
-  }
-  bool eat(char c) {
-    skip_ws();
-    if (p < end && *p == c) {
-      ++p;
-      return true;
-    }
-    return false;
-  }
-  bool peek(char c) {
-    skip_ws();
-    return p < end && *p == c;
-  }
-  bool parse_string(std::string* out) {
-    if (!eat('"')) return false;
-    out->clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\') return false;
-      out->push_back(*p++);
-    }
-    return eat('"');
-  }
-  bool parse_int(std::int64_t* out) {
-    skip_ws();
-    bool neg = false;
-    if (p < end && *p == '-') {
-      neg = true;
-      ++p;
-    }
-    if (p >= end || *p < '0' || *p > '9') return false;
-    std::int64_t v = 0;
-    while (p < end && *p >= '0' && *p <= '9') v = v * 10 + (*p++ - '0');
-    *out = neg ? -v : v;
-    return true;
-  }
-};
-
-bool parse_line(const std::string& line, Object* out) {
-  Cursor c{line.data(), line.data() + line.size()};
-  if (!c.eat('{')) return false;
-  out->clear();
-  if (!c.eat('}')) {
-    do {
-      std::string key;
-      if (!c.parse_string(&key) || !c.eat(':')) return false;
-      Value v;
-      if (c.peek('"')) {
-        v.kind = Value::Kind::kString;
-        if (!c.parse_string(&v.str)) return false;
-      } else if (c.eat('{')) {
-        v.kind = Value::Kind::kObject;
-        if (!c.peek('}')) {
-          do {
-            std::string sub;
-            std::int64_t num;
-            if (!c.parse_string(&sub) || !c.eat(':') || !c.parse_int(&num)) {
-              return false;
-            }
-            v.object.emplace_back(std::move(sub), num);
-          } while (c.eat(','));
-        }
-        if (!c.eat('}')) return false;
-      } else {
-        if (!c.parse_int(&v.num)) return false;
-      }
-      out->emplace_back(std::move(key), std::move(v));
-    } while (c.eat(','));
-  } else {
-    return true;
-  }
-  if (!c.eat('}')) return false;
-  c.skip_ws();
-  return c.p == c.end;
-}
-
-const Value* find(const Object& obj, const char* key) {
-  for (const auto& [k, v] : obj) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
-bool get_int(const Object& obj, const char* key, std::int64_t* out) {
-  const Value* v = find(obj, key);
-  if (v == nullptr || v->kind != Value::Kind::kInt) return false;
-  *out = v->num;
-  return true;
-}
-
-bool get_string(const Object& obj, const char* key, std::string* out) {
-  const Value* v = find(obj, key);
-  if (v == nullptr || v->kind != Value::Kind::kString) return false;
-  *out = v->str;
-  return true;
-}
+using jsonl::fail;
+using jsonl::find;
+using jsonl::get_int;
+using jsonl::get_string;
+using jsonl::Object;
+using jsonl::parse_line;
+using jsonl::Value;
 
 bool phase_from_string(const std::string& name, Phase* out) {
   for (int i = 0; i < kPhaseCount; ++i) {
@@ -216,15 +114,6 @@ bool msg_type_from_string(const std::string& name, std::size_t* out) {
       *out = i;
       return true;
     }
-  }
-  return false;
-}
-
-bool fail(std::string* error, std::int64_t line_no, const char* what) {
-  if (error != nullptr) {
-    std::ostringstream os;
-    os << "line " << line_no << ": " << what;
-    *error = os.str();
   }
   return false;
 }

@@ -1,0 +1,196 @@
+// Minimal JSON-line reader shared by the trace loader (obs/export.cpp)
+// and the metrics-snapshot loader (obs/metrics.cpp).
+//
+// Both formats emit one flat object per line whose values are integers,
+// strings, or one nested object of integers — nothing here needs a real
+// JSON library. Forward compatibility contract (ISSUE 9): a key the
+// current code does not know about is parsed (its value may be any
+// well-formed JSON value, including floats, bools, null, arrays, and
+// deeper objects) and surfaced as Kind::kSkipped, so an older tool reads
+// a newer trace instead of failing on it. Malformed lines — unbalanced
+// braces, unterminated strings, trailing garbage — still fail, so a
+// passing load remains a validity check. We never emit string escapes, so
+// none are accepted.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dasm::obs::jsonl {
+
+struct Value {
+  enum class Kind { kInt, kString, kObject, kSkipped };
+  Kind kind = Kind::kInt;
+  std::int64_t num = 0;
+  std::string str;
+  /// Integer entries of a one-level nested object. Entries whose value is
+  /// not an integer are skipped during parsing (forward compat), so this
+  /// holds only what current readers can consume.
+  std::vector<std::pair<std::string, std::int64_t>> object;
+};
+
+using Object = std::vector<std::pair<std::string, Value>>;
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') return false;
+      out->push_back(*p++);
+    }
+    return eat('"');
+  }
+  /// Parses an integer without consuming anything on failure. A digit run
+  /// followed by '.', 'e', or 'E' is a float, which is not an integer —
+  /// the caller falls back to skip_value().
+  bool parse_int(std::int64_t* out) {
+    skip_ws();
+    const char* save = p;
+    bool neg = false;
+    if (p < end && *p == '-') {
+      neg = true;
+      ++p;
+    }
+    if (p >= end || *p < '0' || *p > '9') {
+      p = save;
+      return false;
+    }
+    std::int64_t v = 0;
+    while (p < end && *p >= '0' && *p <= '9') v = v * 10 + (*p++ - '0');
+    if (p < end && (*p == '.' || *p == 'e' || *p == 'E')) {
+      p = save;
+      return false;
+    }
+    *out = neg ? -v : v;
+    return true;
+  }
+  /// Consumes one well-formed JSON value of any type, validating its
+  /// structure (balanced braces/brackets, terminated strings) without
+  /// retaining it. This is what makes unknown keys skippable rather than
+  /// fatal.
+  bool skip_value() {
+    skip_ws();
+    if (p >= end) return false;
+    if (*p == '"') {
+      std::string sink;
+      return parse_string(&sink);
+    }
+    if (*p == '{' || *p == '[') {
+      const char close = *p == '{' ? '}' : ']';
+      const bool is_object = *p == '{';
+      ++p;
+      if (eat(close)) return true;
+      do {
+        if (is_object) {
+          std::string key;
+          if (!parse_string(&key) || !eat(':')) return false;
+        }
+        if (!skip_value()) return false;
+      } while (eat(','));
+      return eat(close);
+    }
+    // Bare token: number, true, false, null.
+    const char* start = p;
+    while (p < end && *p != ',' && *p != '}' && *p != ']' && *p != ' ' &&
+           *p != '\t' && *p != '\r') {
+      ++p;
+    }
+    return p != start;
+  }
+};
+
+/// Parses one {"key":value,...} line into `*out`. Integer, string, and
+/// flat integer-object values are retained; anything else is structurally
+/// validated and recorded as Kind::kSkipped.
+inline bool parse_line(const std::string& line, Object* out) {
+  Cursor c{line.data(), line.data() + line.size()};
+  if (!c.eat('{')) return false;
+  out->clear();
+  if (!c.eat('}')) {
+    do {
+      std::string key;
+      if (!c.parse_string(&key) || !c.eat(':')) return false;
+      Value v;
+      if (c.peek('"')) {
+        v.kind = Value::Kind::kString;
+        if (!c.parse_string(&v.str)) return false;
+      } else if (c.eat('{')) {
+        v.kind = Value::Kind::kObject;
+        if (!c.peek('}')) {
+          do {
+            std::string sub;
+            if (!c.parse_string(&sub) || !c.eat(':')) return false;
+            std::int64_t num = 0;
+            if (c.parse_int(&num)) {
+              v.object.emplace_back(std::move(sub), num);
+            } else if (!c.skip_value()) {
+              return false;
+            }
+          } while (c.eat(','));
+        }
+        if (!c.eat('}')) return false;
+      } else if (!c.parse_int(&v.num)) {
+        v.kind = Value::Kind::kSkipped;
+        if (!c.skip_value()) return false;
+      }
+      out->emplace_back(std::move(key), std::move(v));
+    } while (c.eat(','));
+    if (!c.eat('}')) return false;
+  }
+  c.skip_ws();
+  return c.p == c.end;
+}
+
+inline const Value* find(const Object& obj, const char* key) {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+inline bool get_int(const Object& obj, const char* key, std::int64_t* out) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kInt) return false;
+  *out = v->num;
+  return true;
+}
+
+inline bool get_string(const Object& obj, const char* key, std::string* out) {
+  const Value* v = find(obj, key);
+  if (v == nullptr || v->kind != Value::Kind::kString) return false;
+  *out = v->str;
+  return true;
+}
+
+inline bool fail(std::string* error, std::int64_t line_no, const char* what) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << what;
+    *error = os.str();
+  }
+  return false;
+}
+
+}  // namespace dasm::obs::jsonl

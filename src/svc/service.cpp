@@ -91,15 +91,31 @@ MatchService::MatchService(SvcConfig config)
       rec_(config.obs_sink, 1) {
   DASM_CHECK_MSG(config_.queue_capacity >= 1,
                  "queue capacity must be >= 1");
+  if (config_.metrics != nullptr && obs::MetricsRegistry::enabled()) {
+    // Registered here on the driver thread; time.svc.execute_us is the
+    // one metric recorded from sweep workers, into per-worker lanes.
+    config_.metrics->ensure_lanes(sweep_.threads());
+    m_requests_ = config_.metrics->counter("svc.requests");
+    m_shed_ = config_.metrics->counter("svc.shed");
+    m_hits_ = config_.metrics->counter("svc.cache_hits");
+    m_misses_ = config_.metrics->counter("svc.cache_misses");
+    m_queue_depth_ = config_.metrics->gauge("svc.queue_depth");
+    m_batch_requests_ = config_.metrics->histogram("svc.batch_requests");
+    m_batch_cells_ = config_.metrics->histogram("svc.batch_cells");
+    m_queue_wait_us_ = config_.metrics->histogram("time.svc.queue_wait_us");
+    m_execute_us_ = config_.metrics->histogram("time.svc.execute_us");
+  }
 }
 
 std::int64_t MatchService::submit(const Request& request) {
   ++stats_.submitted;
+  m_requests_.inc();
   const StoredInstance* inst = store_.find(request.instance);
   DASM_CHECK_MSG(inst != nullptr, "request names unregistered instance '"
                                       << request.instance << "'");
   if (queue_.size() >= config_.queue_capacity) {
     ++stats_.shed;
+    m_shed_.inc();
     return -1;
   }
   Pending pending;
@@ -107,7 +123,11 @@ std::int64_t MatchService::submit(const Request& request) {
   pending.id = next_id_++;
   pending.inst = inst;
   pending.key = CacheKey{inst->digest, request.params_digest()};
+  if (m_queue_wait_us_.active()) {
+    pending.submitted = std::chrono::steady_clock::now();
+  }
   queue_.push_back(std::move(pending));
+  m_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   return queue_.back().id;
 }
 
@@ -116,6 +136,8 @@ std::int64_t MatchService::run_batch() {
   std::vector<Pending> batch(std::make_move_iterator(queue_.begin()),
                              std::make_move_iterator(queue_.end()));
   queue_.clear();
+  m_queue_depth_.set(0);
+  m_batch_requests_.observe(static_cast<std::int64_t>(batch.size()));
 
   // Plan in arrival order: each pending request either hits the
   // cross-batch cache, piggybacks on an earlier arrival with the same key,
@@ -154,8 +176,10 @@ std::int64_t MatchService::run_batch() {
 
   // Execute the distinct cells across the sweep pool. Slot i only ever
   // holds cell i's result, so the commit below is order-independent.
+  m_batch_cells_.observe(static_cast<std::int64_t>(cells.size()));
   const std::vector<Response> results = sweep_.map<Response>(
       static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
+        const obs::ScopedTimer execute_timer(m_execute_us_);
         const Pending& p = *cells[static_cast<std::size_t>(i)];
         return execute_request(*p.inst, p.request);
       });
@@ -163,6 +187,10 @@ std::int64_t MatchService::run_batch() {
   // Commit in arrival order: stamp ids, account hits/misses, record the
   // obs spans, and publish to the cache for later batches.
   const std::int64_t batch_ordinal = stats_.batches;
+  const bool timing = m_queue_wait_us_.active();
+  const auto commit_time =
+      timing ? std::chrono::steady_clock::now()
+             : std::chrono::steady_clock::time_point{};
   rec_.begin_span(obs::Phase::kSvcBatch, batch_ordinal, svc_net_);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Plan& plan = plans[i];
@@ -170,14 +198,22 @@ std::int64_t MatchService::run_batch() {
         plan.cached ? plan.cached_payload
                     : results[static_cast<std::size_t>(plan.cell)];
     resp.id = batch[i].id;
+    if (timing) {
+      m_queue_wait_us_.observe(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              commit_time - batch[i].submitted)
+              .count());
+    }
     const bool paid = plan.owns_cell || !config_.cache_results;
     if (paid) {
       ++stats_.cache_misses;
+      m_misses_.inc();
       ++stats_.executed_runs;
       stats_.messages += resp.messages;
       stats_.rounds += resp.rounds;
     } else {
       ++stats_.cache_hits;
+      m_hits_.inc();
     }
     rec_.begin_span(obs::Phase::kSvcRequest, resp.id, svc_net_);
     if (paid) {

@@ -28,6 +28,7 @@
 // batch` does).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -61,6 +62,17 @@ struct SvcConfig {
   /// actually cost, 0 on a cache hit), cumulative cache-hit/miss/shed
   /// counters, and one RoundSample per batch ("round" = batch ordinal).
   obs::TraceSink* obs_sink = nullptr;
+  /// Wall-clock metrics registry (src/obs/metrics.hpp, DESIGN.md §11):
+  /// when set, the service records svc.requests / shed / cache_hits /
+  /// cache_misses counters, the svc.queue_depth gauge, logical batch
+  /// shape histograms (svc.batch_requests, svc.batch_cells), and
+  /// wall-clock latency histograms (time.svc.queue_wait_us per request,
+  /// time.svc.execute_us per executed cell). The registry is NOT handed
+  /// to the per-cell engines: cells execute concurrently on sweep
+  /// workers, and engine-level metric registration is a driver-thread
+  /// operation — a service-owned registry observes the service layer
+  /// only. Non-owning; must outlive the service.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Service-lifetime totals. `messages`/`rounds` count executed protocol
@@ -116,6 +128,9 @@ class MatchService {
     std::int64_t id = 0;
     const StoredInstance* inst = nullptr;
     CacheKey key{};
+    // Admission time, for the queue-wait histogram. Only stamped when the
+    // metrics registry is attached (the clock read is skipped otherwise).
+    std::chrono::steady_clock::time_point submitted{};
   };
 
   SvcConfig config_;
@@ -130,6 +145,17 @@ class MatchService {
   // ordinal, messages/bits = cumulative executed protocol traffic.
   NetStats svc_net_;
   std::int64_t next_id_ = 0;
+
+  // Wall-clock metrics handles (inactive unless SvcConfig::metrics set).
+  obs::CounterHandle m_requests_;
+  obs::CounterHandle m_shed_;
+  obs::CounterHandle m_hits_;
+  obs::CounterHandle m_misses_;
+  obs::GaugeHandle m_queue_depth_;
+  obs::HistogramHandle m_batch_requests_;  // logical: requests per batch
+  obs::HistogramHandle m_batch_cells_;     // logical: distinct cells per batch
+  obs::HistogramHandle m_queue_wait_us_;   // submit -> commit, per request
+  obs::HistogramHandle m_execute_us_;      // per executed cell, on workers
 };
 
 /// Executes one request against a stored instance — the same code path

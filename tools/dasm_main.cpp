@@ -9,9 +9,16 @@
 //               [--threads T]                       (asm, rand-asm)
 //               [--drop P] [--fault-seed S] [--retransmit-after K]
 //               [--max-retransmits M]               (asm, rand-asm)
+//               [--metrics-out snap.jsonl]          (asm, rand-asm)
 //   dasm verify --in inst.txt --matching matching.txt [--eps E]
 //   dasm batch  --requests reqs.txt [--out responses.txt] [--threads T]
 //               [--queue N] [--cache=false] [--trace-out trace.jsonl]
+//               [--metrics-out snap.jsonl]
+//
+// --metrics-out writes a wall-clock metrics snapshot (src/obs/metrics.hpp,
+// DESIGN.md §11): ".prom" selects Prometheus text exposition, anything
+// else the JSONL form that `dasm-trace metrics` summarizes and
+// `dasm-trace diff` compares as a perf-regression gate.
 //
 // Algorithms: asm (deterministic, default), rand-asm, almost-regular-asm,
 // gs (centralized), distributed-gs, truncated-gs, broadcast-gs.
@@ -33,6 +40,7 @@
 #include "core/rand_asm.hpp"
 #include "gen/generators.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "stable/blocking.hpp"
 #include "stable/broadcast_gs.hpp"
 #include "stable/distributed_gs.hpp"
@@ -148,6 +156,9 @@ int cmd_run(const Cli& cli) {
   const std::string algo = cli.get("algo", "asm");
   const double eps = cli.get_double("eps", 0.25);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string metrics_out = cli.get("metrics-out", "");
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry* reg = metrics_out.empty() ? nullptr : &metrics;
 
   Matching matching(inst.graph().node_count());
   if (algo == "asm" || algo == "rand-asm") {
@@ -163,6 +174,7 @@ int cmd_run(const Cli& cli) {
         params.fault_plan = engine.fault_plan;
         params.retransmit_after = engine.retransmit_after;
         params.max_retransmits = engine.max_retransmits;
+        params.metrics = reg;
         const std::string backend = cli.get("backend", "det");
         if (backend == "ii") {
           params.mm_backend = mm::Backend::kIsraeliItai;
@@ -182,6 +194,7 @@ int cmd_run(const Cli& cli) {
       params.fault_plan = engine.fault_plan;
       params.retransmit_after = engine.retransmit_after;
       params.max_retransmits = engine.max_retransmits;
+      params.metrics = reg;
       return core::run_rand_asm(inst, params);
     }();
     r.print_summary(std::cout);
@@ -227,13 +240,24 @@ int cmd_run(const Cli& cli) {
     return 2;
   }
 
-  report_matching(inst, matching, eps);
+  {
+    // The verification pass (validate + full blocking-pair certification
+    // + metrics) is the certifier's production code path — time it.
+    const obs::ScopedTimer certify_timer(
+        reg != nullptr ? reg->histogram("time.certify.scan_us")
+                       : obs::HistogramHandle{});
+    report_matching(inst, matching, eps);
+  }
   const std::string out = cli.get("out", "");
   if (!out.empty()) {
     std::ofstream os(out);
     DASM_CHECK_MSG(os.good(), "cannot open '" << out << "'");
     save_matching(os, inst, matching);
     std::cout << "wrote matching to " << out << '\n';
+  }
+  if (reg != nullptr) {
+    obs::write_metrics_file(reg->snapshot(), metrics_out);
+    std::cout << "wrote metrics to " << metrics_out << '\n';
   }
   return 0;
 }
@@ -253,6 +277,9 @@ int cmd_batch(const Cli& cli) {
   obs::MemorySink sink;
   const std::string trace_out = cli.get("trace-out", "");
   if (!trace_out.empty()) config.obs_sink = &sink;
+  obs::MetricsRegistry metrics;
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) config.metrics = &metrics;
 
   svc::MatchService service(config);
   for (const auto& decl : file.instances) {
@@ -295,6 +322,10 @@ int cmd_batch(const Cli& cli) {
             << stats.rounds << " executed rounds\n";
   if (!out.empty()) std::cout << "wrote " << out << '\n';
   if (!trace_out.empty()) std::cout << "wrote trace to " << trace_out << '\n';
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics.snapshot(), metrics_out);
+    std::cout << "wrote metrics to " << metrics_out << '\n';
+  }
   return 0;
 }
 

@@ -1,18 +1,28 @@
-// dasm-trace: inspect a JSONL trace emitted by the observability subsystem
-// (src/obs/, ISSUE 4). Prints per-phase round/message rollups and a
-// per-inner-iteration convergence table, and can convert the trace to
-// Chrome trace-event JSON for chrome://tracing / Perfetto.
+// dasm-trace: inspect the JSONL artifacts of the observability subsystem
+// (src/obs/) — phase traces (ISSUE 4) and wall-clock metrics snapshots
+// (ISSUE 9).
 //
 // Usage:
-//   dasm-trace TRACE.jsonl                 # rollups + convergence tables
-//   dasm-trace TRACE.jsonl --chrome OUT.json
-//   some-bench --trace-out - | dasm-trace -   # read the trace from stdin
+//   dasm-trace summary TRACE.jsonl [--chrome OUT.json]
+//       per-phase rollups, traffic breakdown, and convergence tables; with
+//       --chrome, converts to Chrome trace-event JSON instead.
+//   dasm-trace metrics SNAP.jsonl
+//       counter/gauge values and histogram summaries (p50/p90/p99) of a
+//       --metrics-out snapshot.
+//   dasm-trace diff BASE.jsonl CAND.jsonl [--threshold PCT]
+//       compares two snapshots metric by metric; exits 1 when any metric
+//       regressed by more than PCT percent (default 25), so CI can gate
+//       on it mechanically.
+//   dasm-trace TRACE.jsonl [--chrome OUT.json]
+//       legacy spelling of `summary`.
 //
-// Exits nonzero when the trace fails to parse, so the experiment harness
-// can use a plain load as a validity check.
+// Every file argument accepts "-" for stdin. Exits nonzero on parse
+// errors and unknown flags, so the experiment harness can use a plain
+// load as a validity check.
 
 #include <array>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -21,6 +31,7 @@
 
 #include "congest/message.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -288,41 +299,83 @@ bool has_inner_spans(const MemorySink& sink) {
 }
 
 int usage(const char* prog) {
-  std::cerr << "usage: " << prog << " TRACE.jsonl [--chrome OUT.json]\n"
-            << "  TRACE.jsonl  JSONL trace written by --trace-out (\"-\" for"
-               " stdin)\n"
-            << "  --chrome     also convert to Chrome trace-event JSON\n";
+  std::cerr
+      << "usage: " << prog << " <subcommand> [args]\n"
+      << "  " << prog << " summary TRACE.jsonl [--chrome OUT.json]\n"
+      << "      phase rollups, traffic breakdown, convergence tables;\n"
+      << "      --chrome converts to Chrome trace-event JSON instead\n"
+      << "  " << prog << " metrics SNAP.jsonl\n"
+      << "      counters, gauges, and histogram p50/p90/p99 of a\n"
+      << "      --metrics-out snapshot\n"
+      << "  " << prog << " diff BASE.jsonl CAND.jsonl [--threshold PCT]\n"
+      << "      exits 1 when any metric regressed by more than PCT\n"
+      << "      percent (default 25)\n"
+      << "  " << prog << " TRACE.jsonl [--chrome OUT.json]\n"
+      << "      legacy spelling of `summary`\n"
+      << "  every file argument accepts \"-\" for stdin\n";
   return 2;
 }
 
-}  // namespace
+/// Rejects flags outside `known` with a nonzero exit, matching the
+/// bench::parse_options / cli::Parser::flag_names convention from PR 6: a
+/// typo'd flag aborts loudly instead of being silently ignored.
+bool flags_ok(const dasm::Cli& cli,
+              std::initializer_list<const char*> known) {
+  bool ok = true;
+  for (const std::string& name : cli.flag_names()) {
+    bool found = false;
+    for (const char* k : known) {
+      if (name == k) found = true;
+    }
+    if (!found) {
+      std::cerr << "dasm-trace: unknown flag --" << name << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
 
-int main(int argc, char** argv) {
-  const dasm::Cli cli(argc, argv);
-  if (cli.positional().size() != 1) return usage(argv[0]);
-  const std::string& path = cli.positional()[0];
-
-  MemorySink sink;
+bool load_trace(const std::string& path, MemorySink* sink) {
   std::string error;
   bool ok = false;
   if (path == "-") {
-    ok = dasm::obs::load_jsonl(std::cin, &sink, &error);
+    ok = dasm::obs::load_jsonl(std::cin, sink, &error);
   } else {
     std::ifstream in(path);
     if (!in) {
       std::cerr << "dasm-trace: cannot open " << path << "\n";
-      return 1;
+      return false;
     }
-    ok = dasm::obs::load_jsonl(in, &sink, &error);
+    ok = dasm::obs::load_jsonl(in, sink, &error);
   }
-  if (!ok) {
-    std::cerr << "dasm-trace: " << path << ": " << error << "\n";
-    return 1;
+  if (!ok) std::cerr << "dasm-trace: " << path << ": " << error << "\n";
+  return ok;
+}
+
+bool load_metrics(const std::string& path, dasm::obs::MetricsSnapshot* snap) {
+  std::string error;
+  bool ok = false;
+  if (path == "-") {
+    ok = dasm::obs::load_metrics_jsonl(std::cin, snap, &error);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "dasm-trace: cannot open " << path << "\n";
+      return false;
+    }
+    ok = dasm::obs::load_metrics_jsonl(in, snap, &error);
   }
+  if (!ok) std::cerr << "dasm-trace: " << path << ": " << error << "\n";
+  return ok;
+}
+
+int cmd_summary(const dasm::Cli& cli, const std::string& path) {
+  MemorySink sink;
+  if (!load_trace(path, &sink)) return 1;
 
   if (cli.has("chrome")) {
     const std::string out_path = cli.get("chrome", "");
-    if (out_path.empty()) return usage(argv[0]);
+    if (out_path.empty()) return usage(cli.program().c_str());
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "dasm-trace: cannot write " << out_path << "\n";
@@ -348,4 +401,112 @@ int main(int argc, char** argv) {
     print_mm_decay(sink, std::cout);
   }
   return 0;
+}
+
+int cmd_metrics(const std::string& path) {
+  dasm::obs::MetricsSnapshot snap;
+  if (!load_metrics(path, &snap)) return 1;
+
+  std::cout << "Metrics: " << path << " — " << snap.counters.size()
+            << " counters, " << snap.gauges.size() << " gauges, "
+            << snap.histograms.size() << " histograms\n\n";
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    Table table({"metric", "kind", "value"});
+    for (const auto& c : snap.counters) {
+      table.add_row({c.name, "counter", Table::num(c.value)});
+    }
+    for (const auto& g : snap.gauges) {
+      table.add_row({g.name, "gauge", Table::num(g.value)});
+    }
+    std::cout << "Scalars:\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!snap.histograms.empty()) {
+    Table table({"histogram", "count", "mean", "min", "p50", "p90", "p99",
+                 "max"});
+    for (const auto& h : snap.histograms) {
+      table.add_row({h.name, Table::num(h.count), Table::num(h.mean(), 1),
+                     Table::num(h.min), Table::num(h.quantile(0.50)),
+                     Table::num(h.quantile(0.90)), Table::num(h.quantile(0.99)),
+                     Table::num(h.max)});
+    }
+    std::cout << "Histograms (quantiles have <= 12.5% bucket error):\n";
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_diff(const dasm::Cli& cli, const std::string& base_path,
+             const std::string& cand_path) {
+  dasm::obs::MetricsSnapshot base;
+  dasm::obs::MetricsSnapshot cand;
+  if (!load_metrics(base_path, &base) || !load_metrics(cand_path, &cand)) {
+    return 1;
+  }
+  const double threshold = cli.get_double("threshold", 25.0);
+  if (threshold < 0.0) {
+    std::cerr << "dasm-trace: --threshold must be >= 0\n";
+    return 2;
+  }
+
+  const std::vector<dasm::obs::MetricDelta> deltas =
+      dasm::obs::diff_snapshots(base, cand, threshold);
+  const char* kind_names[] = {"counter", "gauge", "histogram"};
+  Table table({"metric", "kind", "base", "cand", "delta %", "status"});
+  std::int64_t regressions = 0;
+  std::int64_t missing = 0;
+  for (const auto& d : deltas) {
+    std::string delta_pct = "-";
+    std::string status = "ok";
+    if (d.missing_base || d.missing_cand) {
+      status = d.missing_base ? "only in cand" : "only in base";
+      ++missing;
+    } else {
+      if (d.base > 0.0) {
+        delta_pct = Table::num((d.cand - d.base) / d.base * 100.0, 1);
+      }
+      if (d.regression) {
+        status = "REGRESSED";
+        ++regressions;
+      } else if (d.cand < d.base) {
+        status = "improved";
+      }
+    }
+    table.add_row({d.name, kind_names[static_cast<int>(d.kind)],
+                   Table::num(d.base, 1), Table::num(d.cand, 1),
+                   std::move(delta_pct), std::move(status)});
+  }
+  std::cout << "Diff: " << base_path << " -> " << cand_path << " (threshold "
+            << threshold << "%; histograms compare means)\n";
+  table.print(std::cout);
+  std::cout << deltas.size() << " metrics compared, " << regressions
+            << " regressed, " << missing << " present on one side only\n";
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dasm::Cli cli(argc, argv);
+  const auto& pos = cli.positional();
+  if (pos.empty()) return usage(argv[0]);
+
+  if (pos[0] == "summary") {
+    if (pos.size() != 2 || !flags_ok(cli, {"chrome"})) return usage(argv[0]);
+    return cmd_summary(cli, pos[1]);
+  }
+  if (pos[0] == "metrics") {
+    if (pos.size() != 2 || !flags_ok(cli, {})) return usage(argv[0]);
+    return cmd_metrics(pos[1]);
+  }
+  if (pos[0] == "diff") {
+    if (pos.size() != 3 || !flags_ok(cli, {"threshold"})) {
+      return usage(argv[0]);
+    }
+    return cmd_diff(cli, pos[1], pos[2]);
+  }
+  // Legacy spelling: `dasm-trace TRACE.jsonl [--chrome OUT.json]`.
+  if (pos.size() != 1 || !flags_ok(cli, {"chrome"})) return usage(argv[0]);
+  return cmd_summary(cli, pos[0]);
 }

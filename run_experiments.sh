@@ -120,6 +120,34 @@ for line in open(sys.argv[1]):
   fi
   grep -q '^# TYPE dasm_engine_runs counter$' "$smoke/m_a11.prom"
   echo "metrics smoke OK"
+  # Serve smoke (ISSUE 10): a live `dasm serve` on an ephemeral port must
+  # serve a loopback client (protocol conversation + per-connection
+  # response numbering), answer two /metrics scrapes with monotonic
+  # counters, survive a garbage line with a diagnostic ERR, and exit 0 on
+  # SIGTERM after a graceful drain that flushes its final snapshot.
+  if command -v python3 >/dev/null 2>&1; then
+    build/tools/dasm serve --port 0 --port-file "$smoke/port" \
+      --metrics-out "$smoke/serve.prom" >/dev/null &
+    serve_pid=$!
+    for _ in $(seq 100); do [ -s "$smoke/port" ] && break; sleep 0.1; done
+    python3 tools/serve_smoke.py --port-file "$smoke/port"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    grep -q '^# TYPE dasm_net_requests counter$' "$smoke/serve.prom"
+    echo "serve smoke OK"
+  else
+    echo "serve smoke skipped (no python3)"
+  fi
+  # Bench A12 smoke: the wire byte-identity cross-check against the direct
+  # service always runs, the pipelined >= 1.2x closed-loop verdict must
+  # hold at smoke size, and the JSON must parse.
+  cmake --build build --target bench_a12_serve_throughput
+  build/bench/bench_a12_serve_throughput --json-out "$smoke/a12.json" \
+    >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$smoke/a12.json" >/dev/null
+  fi
+  echo "bench_a12 smoke OK"
   exit 0
 fi
 

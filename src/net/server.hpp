@@ -1,0 +1,221 @@
+// TCP front end for the matching service (DESIGN.md §12): a poll-based
+// accept loop that speaks the line-oriented request/response wire format
+// of src/svc/request.hpp over TCP, feeding MatchService::submit()/
+// run_batch() and streaming response lines back per connection.
+//
+// Protocol. A connection's first line selects its mode:
+//
+//   dasm-requests 1          -> protocol mode; the server greets with
+//                               "dasm-responses 1" and then accepts
+//                               `instance` / `request` lines (the exact
+//                               request-file grammar). Successful
+//                               registrations are silent — so a single
+//                               connection replaying a request file
+//                               receives, byte for byte, the response
+//                               stream `dasm batch` would have written.
+//   GET /metrics HTTP/1.x    -> one-shot HTTP scrape: a fresh
+//                               MetricsRegistry snapshot serialized via
+//                               write_prometheus, then close. Any other
+//                               path is a 404.
+//   anything else            -> "ERR ..." diagnostic, then close.
+//
+// Ordering/demux contract (the per-connection story the ROADMAP flagged):
+// internally responses commit in global arrival order — submit() tags
+// each admitted request with (connection id, per-connection sequence
+// number), and after every batch the router rewrites each committed
+// response's id to that per-connection sequence before appending it to
+// its own connection's write buffer. Each connection therefore receives
+// exactly its own responses, in its own submission order, numbered
+// 0,1,2,... regardless of how many connections interleave. Failed lines
+// answer immediately with a single "ERR <diagnostic>" line (no sequence
+// number, does not consume one); a full admission queue answers
+// "ERR shed". ERR lines interleave with response lines in processing
+// order, not submission order.
+//
+// Batching: admitted requests stay queued while the sockets are busy; a
+// batch runs as soon as a poll cycle delivers no new request line (the
+// stream went idle) or `batch_max_requests` are pending. This keeps
+// single-request latency at one poll cycle while letting a streaming
+// client amortize scheduling across the whole batch.
+//
+// Backpressure: each connection has a bounded write buffer. Above
+// `write_high_water` the server stops reading from that connection (so a
+// slow consumer throttles its own request stream, not the service);
+// above `write_buffer_limit` the connection is dropped.
+//
+// Shutdown: request_stop() (or the CLI's SIGTERM flag) triggers a
+// graceful drain — stop accepting, stop reading, run every pending
+// request to completion, flush all write buffers, then close.
+//
+// Registry lifetime (DESIGN.md §12): the server never owns the metrics
+// registry — the process does. Counters accumulate monotonically for the
+// whole process lifetime and a scrape serializes a fresh snapshot without
+// resetting anything, which is exactly the Prometheus counter contract:
+// resets happen only when the process restarts, and rate() handles those.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "svc/service.hpp"
+
+namespace dasm::net {
+
+struct ServeConfig {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via Server::port).
+  int port = 0;
+  int backlog = 64;
+  /// Framing limit; longer lines are answered with "ERR line too long"
+  /// and discarded up to the next newline (see net/wire.hpp).
+  std::size_t max_line_bytes = 1 << 16;
+  /// Backpressure: stop reading from a connection whose write buffer
+  /// exceeds the high-water mark; drop it at the hard limit.
+  std::size_t write_high_water = 1 << 18;
+  std::size_t write_buffer_limit = 1 << 20;
+  /// Connections idle (no bytes in either direction) longer than this are
+  /// closed. 0 disables the timeout.
+  std::int64_t idle_timeout_ms = 30000;
+  /// Run a batch once this many requests are pending even if the sockets
+  /// are still busy. Kept below svc.queue_capacity so a well-behaved
+  /// streaming client never sees "ERR shed".
+  std::int64_t batch_max_requests = 256;
+  /// Poll timeout while idle — bounds the latency of noticing stop
+  /// requests and idle timeouts.
+  std::int64_t poll_interval_ms = 50;
+  /// How long the graceful drain waits for slow consumers to take their
+  /// flushed responses before closing anyway.
+  std::int64_t drain_flush_timeout_ms = 5000;
+  /// The embedded service (threads, queue capacity, cache, shards).
+  /// svc.metrics is overridden with `metrics` below.
+  svc::SvcConfig svc;
+  /// Process-lifetime metrics registry: the service layer's svc.* metrics
+  /// and the server's net.* counters / time.net.* histograms record here,
+  /// and GET /metrics serializes a fresh snapshot per scrape. Non-owning;
+  /// nullptr runs unobserved.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// External stop flag (the CLI points this at its signal-handler flag);
+  /// checked every poll cycle, same effect as request_stop().
+  const std::atomic<bool>* stop_flag = nullptr;
+};
+
+/// Monotonic totals readable from any thread while the server runs (the
+/// registry itself is server-thread-only between scrapes) — the test
+/// suite synchronizes on these.
+struct ServeCounters {
+  std::atomic<std::int64_t> accepted{0};
+  std::atomic<std::int64_t> closed{0};
+  std::atomic<std::int64_t> requests{0};   ///< request lines admitted
+  std::atomic<std::int64_t> responses{0};  ///< response lines buffered
+  std::atomic<std::int64_t> shed{0};       ///< "ERR shed" answers
+  std::atomic<std::int64_t> err_lines{0};  ///< diagnostic ERR answers
+  std::atomic<std::int64_t> scrapes{0};    ///< GET /metrics served
+  std::atomic<std::int64_t> batches{0};
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid before run()), but
+  /// accepts nothing until run(). Throws CheckError on socket errors.
+  explicit Server(ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// The embedded service. Driver-thread-only while run() is live; tests
+  /// use it to preload instances before starting and to audit SvcStats
+  /// after run() returns.
+  svc::MatchService& service() { return service_; }
+
+  /// Runs the accept loop until request_stop() / the configured stop
+  /// flag, then drains gracefully: stop accepting and reading, finish
+  /// every pending request, flush, close.
+  void run();
+
+  /// Thread-safe; run() notices within one poll interval.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  const ServeCounters& counters() const { return counters_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::int64_t id = 0;
+    enum class Mode : std::uint8_t { kNew, kProto, kHttp } mode = Mode::kNew;
+    LineBuffer in;
+    std::string out;
+    std::size_t out_pos = 0;
+    std::int64_t next_seq = 0;  ///< per-connection response numbering
+    std::chrono::steady_clock::time_point last_activity;
+    bool close_after_flush = false;
+
+    explicit Connection(std::size_t max_line_bytes) : in(max_line_bytes) {}
+  };
+
+  struct Route {
+    std::int64_t conn_id = 0;
+    std::int64_t seq = 0;
+  };
+
+  bool stop_requested() const;
+  void accept_ready();
+  /// Reads fd until EAGAIN and handles every complete line. Returns the
+  /// number of request lines admitted (the batch trigger's "busy" signal).
+  std::int64_t read_ready(Connection& conn);
+  void handle_line(Connection& conn, const std::string& line);
+  void handle_first_line(Connection& conn, const std::string& line);
+  void handle_request_line(Connection& conn, std::istream& rest);
+  void handle_instance_line(Connection& conn, std::istream& rest);
+  void serve_http(Connection& conn, const std::string& request_line);
+  void reply_err(Connection& conn, const std::string& diagnostic);
+  void append_out(Connection& conn, std::string_view bytes);
+  void flush_ready(Connection& conn);
+  void run_pending_batch();
+  void close_connection(std::int64_t conn_id);
+  void drain_and_flush();
+  /// True while any admitted request of this connection still awaits its
+  /// response (keeps an EOF'd peer alive until everything it is owed has
+  /// been routed and flushed).
+  bool routes_pending_for(std::int64_t conn_id) const;
+
+  ServeConfig config_;
+  svc::MatchService service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::int64_t next_conn_id_ = 0;
+  // unordered_map keeps Connection addresses stable across accepts; the
+  // poll set is rebuilt per cycle from it.
+  std::unordered_map<std::int64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<std::int64_t, Route> routes_;  ///< service id -> conn
+  std::vector<std::int64_t> doomed_;  ///< closed mid-cycle, reaped after
+  ServeCounters counters_;
+
+  // net.* metrics (inactive when config_.metrics == nullptr).
+  obs::CounterHandle m_accepted_;
+  obs::CounterHandle m_closed_;
+  obs::CounterHandle m_requests_;
+  obs::CounterHandle m_responses_;
+  obs::CounterHandle m_err_lines_;
+  obs::CounterHandle m_scrapes_;
+  obs::CounterHandle m_bytes_read_;
+  obs::CounterHandle m_bytes_written_;
+  obs::GaugeHandle m_connections_;
+  obs::HistogramHandle m_accept_us_;
+  obs::HistogramHandle m_read_us_;
+  obs::HistogramHandle m_write_us_;
+  obs::HistogramHandle m_batch_us_;
+};
+
+}  // namespace dasm::net

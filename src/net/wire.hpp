@@ -1,0 +1,99 @@
+// Line framing for the TCP front end (DESIGN.md §12): a LineBuffer
+// accumulates raw bytes as read() delivers them — split or coalesced
+// arbitrarily relative to the sender's write() calls — and yields
+// complete '\n'-terminated lines one at a time.
+//
+// Malformed framing is survivable by construction: an overlong line (no
+// newline within `max_line_bytes`) or an embedded NUL is reported once
+// and the buffer resynchronizes at the next newline, so one bad line can
+// be answered with a diagnostic `ERR` response without desyncing the rest
+// of the stream. A trailing '\r' is stripped (CRLF clients, HTTP request
+// lines).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace dasm::net {
+
+class LineBuffer {
+ public:
+  enum class Next {
+    kLine,      ///< `*line` holds a complete, well-formed line
+    kNeedMore,  ///< no complete line buffered; append more bytes
+    kOverlong,  ///< line exceeded max_line_bytes; discarded up to resync
+    kNulByte,   ///< line contained an embedded NUL; discarded
+  };
+
+  explicit LineBuffer(std::size_t max_line_bytes)
+      : max_(max_line_bytes) {
+    DASM_CHECK_MSG(max_ >= 1, "max_line_bytes must be >= 1");
+  }
+
+  void append(std::string_view bytes) { buf_.append(bytes); }
+
+  /// Bytes buffered but not yet consumed (partial line, or complete lines
+  /// not yet extracted).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Extracts the next line. kOverlong / kNulByte consume the offending
+  /// bytes (resynchronizing at the next newline), so the caller can
+  /// report the error and keep calling.
+  Next next(std::string* line) {
+    compact();
+    for (;;) {
+      if (discarding_) {
+        const std::size_t nl = buf_.find('\n', pos_);
+        if (nl == std::string::npos) {
+          // Still inside the overlong line: drop what we have.
+          buf_.clear();
+          pos_ = 0;
+          return Next::kNeedMore;
+        }
+        pos_ = nl + 1;
+        discarding_ = false;
+        continue;
+      }
+      const std::size_t nl = buf_.find('\n', pos_);
+      if (nl == std::string::npos) {
+        if (buffered() > max_) {
+          discarding_ = true;
+          return Next::kOverlong;
+        }
+        return Next::kNeedMore;
+      }
+      std::size_t len = nl - pos_;
+      if (len > max_) {
+        pos_ = nl + 1;
+        return Next::kOverlong;
+      }
+      if (len > 0 && buf_[pos_ + len - 1] == '\r') --len;
+      if (buf_.find('\0', pos_) < nl) {
+        pos_ = nl + 1;
+        return Next::kNulByte;
+      }
+      line->assign(buf_, pos_, len);
+      pos_ = nl + 1;
+      return Next::kLine;
+    }
+  }
+
+ private:
+  void compact() {
+    // Amortized O(1): only shift once the consumed prefix dominates.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  std::size_t max_;
+  std::string buf_;
+  std::size_t pos_ = 0;      ///< consumed prefix of buf_
+  bool discarding_ = false;  ///< inside an overlong line, seeking '\n'
+};
+
+}  // namespace dasm::net

@@ -63,9 +63,9 @@ Algo parse_algo(const std::string& tok) {
   return Algo::kAsm;
 }
 
-// Parses the key-value tail of a `request` line (everything up to
-// end-of-line).
-Request parse_request_line(std::istream& is) {
+}  // namespace
+
+Request parse_request(std::istream& is) {
   Request req;
   req.instance = next_token(is, "instance name");
   req.algo = parse_algo(next_token(is, "algo"));
@@ -113,7 +113,26 @@ Request parse_request_line(std::istream& is) {
   return req;
 }
 
-}  // namespace
+RequestFile::InstanceDecl parse_instance_decl(std::istream& is) {
+  RequestFile::InstanceDecl decl;
+  decl.name = next_token(is, "instance name");
+  const std::string source = next_token(is, "'file' or 'gen'");
+  if (source == "file") {
+    decl.from_file = true;
+    decl.path = next_token(is, "instance path");
+  } else if (source == "gen") {
+    decl.family = next_token(is, "family");
+    decl.n = static_cast<NodeId>(
+        parse_int(next_token(is, "instance size"), "instance size"));
+    DASM_CHECK_MSG(decl.n > 0, "instance size must be positive");
+    decl.seed = static_cast<std::uint64_t>(
+        parse_int(next_token(is, "instance seed"), "instance seed"));
+  } else {
+    DASM_CHECK_MSG(false, "instance source must be 'file' or 'gen', got '"
+                              << source << "'");
+  }
+  return decl;
+}
 
 const char* to_string(Algo algo) {
   switch (algo) {
@@ -164,30 +183,14 @@ RequestFile load_requests(std::istream& is) {
   std::string kind;
   while (is >> kind) {
     if (kind == "instance") {
-      RequestFile::InstanceDecl decl;
-      decl.name = next_token(is, "instance name");
+      RequestFile::InstanceDecl decl = parse_instance_decl(is);
       for (const auto& existing : file.instances) {
         DASM_CHECK_MSG(existing.name != decl.name,
                        "instance '" << decl.name << "' declared twice");
       }
-      const std::string source = next_token(is, "'file' or 'gen'");
-      if (source == "file") {
-        decl.from_file = true;
-        decl.path = next_token(is, "instance path");
-      } else if (source == "gen") {
-        decl.family = next_token(is, "family");
-        decl.n = static_cast<NodeId>(
-            parse_int(next_token(is, "instance size"), "instance size"));
-        DASM_CHECK_MSG(decl.n > 0, "instance size must be positive");
-        decl.seed = static_cast<std::uint64_t>(
-            parse_int(next_token(is, "instance seed"), "instance seed"));
-      } else {
-        DASM_CHECK_MSG(false, "instance source must be 'file' or 'gen', got '"
-                                  << source << "'");
-      }
       file.instances.push_back(std::move(decl));
     } else if (kind == "request") {
-      Request req = parse_request_line(is);
+      Request req = parse_request(is);
       const bool declared =
           std::any_of(file.instances.begin(), file.instances.end(),
                       [&](const auto& d) { return d.name == req.instance; });

@@ -101,6 +101,17 @@ struct RequestFile {
 RequestFile load_requests(std::istream& is);
 RequestFile load_requests_file(const std::string& path);
 
+/// Parses the body of a `request` line — everything after the `request`
+/// keyword (instance name, algo, key-value tail up to end-of-line).
+/// Throws CheckError with a diagnostic on malformed input. Instance-name
+/// resolution is the caller's job: the file loader checks the declared
+/// set, the TCP front end (src/net/) the live InstanceStore.
+Request parse_request(std::istream& is);
+
+/// Parses the body of an `instance` line — everything after the
+/// `instance` keyword. Duplicate-name policy is the caller's job.
+RequestFile::InstanceDecl parse_instance_decl(std::istream& is);
+
 /// Materializes a generated-instance declaration. Families: complete,
 /// incomplete (p = min(1, 16/n)), regular (d = min(n, 16)), bounded
 /// (d = min(n, 8)), almost_regular, master, chain — the bench registry's

@@ -246,6 +246,12 @@ void MatchService::drain() {
   while (!queue_.empty()) run_batch();
 }
 
+std::vector<Response> MatchService::take_responses() {
+  std::vector<Response> taken = std::move(responses_);
+  responses_.clear();
+  return taken;
+}
+
 void MatchService::write_responses(std::ostream& os) const {
   svc::write_responses(os, responses_);
 }

@@ -116,6 +116,13 @@ class MatchService {
 
   std::size_t pending() const { return queue_.size(); }
   const std::vector<Response>& responses() const { return responses_; }
+
+  /// Moves the committed response log out and clears it (stats are
+  /// unaffected). The TCP front end (src/net/) consumes responses after
+  /// every batch this way so a long-running server holds O(batch), not
+  /// O(lifetime), responses; `dasm batch` instead lets the log accumulate
+  /// and writes it once at the end.
+  std::vector<Response> take_responses();
   const SvcStats& stats() const { return stats_; }
 
   /// Writes the committed response log (header + one line per response,

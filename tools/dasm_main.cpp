@@ -14,6 +14,10 @@
 //   dasm batch  --requests reqs.txt [--out responses.txt] [--threads T]
 //               [--queue N] [--cache=false] [--trace-out trace.jsonl]
 //               [--metrics-out snap.jsonl]
+//   dasm serve  [--port P] [--host A] [--threads T] [--queue N]
+//               [--cache=false] [--preload reqs.txt] [--port-file path]
+//               [--idle-timeout-ms N] [--max-line-bytes N] [--batch-max N]
+//               [--metrics-out snap.jsonl]
 //
 // --metrics-out writes a wall-clock metrics snapshot (src/obs/metrics.hpp,
 // DESIGN.md §11): ".prom" selects Prometheus text exposition, anything
@@ -30,6 +34,17 @@
 // backpressure against the bounded queue, and writes the response log.
 // The log is byte-identical at every --threads value; see the format
 // comment in src/svc/request.hpp.
+//
+// `serve` is the network-facing front end (src/net/, DESIGN.md §12): the
+// same wire format over TCP, one response stream per connection, plus a
+// GET /metrics Prometheus scrape endpoint on the same port. --port 0
+// binds an ephemeral port (announced on stdout, and in --port-file for
+// scripts); --preload registers a request file's instance declarations at
+// startup. SIGTERM/SIGINT trigger a graceful drain: in-flight requests
+// finish, responses flush, then the process exits 0 (and writes the
+// process-lifetime metrics snapshot when --metrics-out is set).
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -48,6 +63,7 @@
 #include "stable/io.hpp"
 #include "stable/metrics.hpp"
 #include "stable/truncated_gs.hpp"
+#include "net/server.hpp"
 #include "svc/service.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -329,6 +345,71 @@ int cmd_batch(const Cli& cli) {
   return 0;
 }
 
+// Set by the SIGTERM/SIGINT handler; the serve loop checks it once per
+// poll interval and then drains gracefully.
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+int cmd_serve(const Cli& cli) {
+  net::ServeConfig config;
+  config.bind_address = cli.get("host", "127.0.0.1");
+  config.port = static_cast<int>(cli.get_int("port", 0));
+  config.idle_timeout_ms = cli.get_int("idle-timeout-ms", 30000);
+  config.max_line_bytes =
+      static_cast<std::size_t>(cli.get_int("max-line-bytes", 1 << 16));
+  config.batch_max_requests = cli.get_int("batch-max", 256);
+  config.svc.threads = static_cast<int>(cli.get_int("threads", 1));
+  config.svc.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue", 1024));
+  config.svc.cache_results = cli.get_bool("cache", true);
+  obs::MetricsRegistry metrics;  // process-lifetime; scrapes never reset it
+  config.metrics = &metrics;
+  config.stop_flag = &g_serve_stop;
+
+  net::Server server(config);
+  const std::string preload = cli.get("preload", "");
+  if (!preload.empty()) {
+    const svc::RequestFile file = svc::load_requests_file(preload);
+    for (const auto& decl : file.instances) {
+      server.service().instances().add(decl.name,
+                                       decl.from_file
+                                           ? load_instance_file(decl.path)
+                                           : svc::make_declared_instance(decl));
+    }
+    std::cout << "preloaded " << file.instances.size() << " instance(s) from "
+              << preload << '\n';
+  }
+
+  const std::string port_file = cli.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream os(port_file);
+    DASM_CHECK_MSG(os.good(), "cannot open '" << port_file << "'");
+    os << server.port() << '\n';
+  }
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  std::cout << "serving on " << config.bind_address << ":" << server.port()
+            << " (scrape: GET /metrics)" << std::endl;
+
+  server.run();
+
+  const svc::SvcStats& stats = server.service().stats();
+  const net::ServeCounters& net = server.counters();
+  std::cout << "drained: " << net.accepted.load() << " connection(s), "
+            << stats.committed << " request(s) committed in " << stats.batches
+            << " batch(es), " << stats.shed << " shed, "
+            << net.scrapes.load() << " scrape(s)\n";
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics.snapshot(), metrics_out);
+    std::cout << "wrote metrics to " << metrics_out << '\n';
+  }
+  return 0;
+}
+
 int cmd_verify(const Cli& cli) {
   const Instance inst = make_instance(cli);
   const std::string path = cli.get("matching", "");
@@ -341,7 +422,7 @@ int cmd_verify(const Cli& cli) {
 }
 
 int usage() {
-  std::cerr << "usage: dasm <gen|info|run|verify|batch> [flags]\n"
+  std::cerr << "usage: dasm <gen|info|run|verify|batch|serve> [flags]\n"
             << "  see the header of tools/dasm_main.cpp or README.md\n";
   return 2;
 }
@@ -358,6 +439,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "batch") return cmd_batch(cli);
+    if (cmd == "serve") return cmd_serve(cli);
     return usage();
   } catch (const dasm::CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';

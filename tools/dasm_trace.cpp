@@ -403,6 +403,44 @@ int cmd_summary(const dasm::Cli& cli, const std::string& path) {
   return 0;
 }
 
+// Serve rollup (ISSUE 10): snapshots written by `dasm serve` carry the
+// TCP front end's net.* counters next to the service-layer svc.* ones;
+// derive the operator-facing ratios (requests per connection, shed and
+// cache-hit rates, scrape count) instead of making the reader eyeball the
+// raw table.
+void print_serve_rollup(const dasm::obs::MetricsSnapshot& snap,
+                        std::ostream& os) {
+  auto counter = [&snap](const char* name) -> std::optional<std::int64_t> {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    return std::nullopt;
+  };
+  const auto accepted = counter("net.accepted");
+  if (!accepted) return;  // not a serve snapshot
+  const std::int64_t requests = counter("net.requests").value_or(0);
+  const std::int64_t responses = counter("net.responses").value_or(0);
+  const std::int64_t errs = counter("net.err_lines").value_or(0);
+  const std::int64_t shed = counter("svc.shed").value_or(0);
+  const std::int64_t hits = counter("svc.cache_hits").value_or(0);
+  const std::int64_t misses = counter("svc.cache_misses").value_or(0);
+  os << "\nServe rollup:\n"
+     << "  connections:  " << *accepted << " accepted, "
+     << counter("net.closed").value_or(0) << " closed\n"
+     << "  requests:     " << requests << " admitted, " << responses
+     << " responses, " << shed << " shed, " << errs << " ERR lines\n";
+  if (hits + misses > 0) {
+    os << "  cache:        " << hits << " hits / " << misses << " misses ("
+       << Table::num(100.0 * static_cast<double>(hits) /
+                         static_cast<double>(hits + misses),
+                     1)
+       << "% hit rate)\n";
+  }
+  os << "  bytes:        " << counter("net.bytes_read").value_or(0)
+     << " in, " << counter("net.bytes_written").value_or(0) << " out\n"
+     << "  scrapes:      " << counter("net.scrapes").value_or(0) << "\n";
+}
+
 int cmd_metrics(const std::string& path) {
   dasm::obs::MetricsSnapshot snap;
   if (!load_metrics(path, &snap)) return 1;
@@ -434,6 +472,7 @@ int cmd_metrics(const std::string& path) {
     std::cout << "Histograms (quantiles have <= 12.5% bucket error):\n";
     table.print(std::cout);
   }
+  print_serve_rollup(snap, std::cout);
   return 0;
 }
 
